@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper on the
+simulated machines.  pytest-benchmark times the *regeneration harness*
+(simulation + measurement pipeline); the reproduced values and their
+paper-vs-measured errors are attached to ``benchmark.extra_info`` so the
+JSON artifact doubles as a reproduction record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def attach_report(benchmark, report) -> None:
+    """Attach an ExperimentReport's summary to the benchmark record."""
+    benchmark.extra_info["experiment"] = report.exp_id
+    benchmark.extra_info["title"] = report.title
+    if report.mean_rel_err is not None:
+        benchmark.extra_info["mean_rel_err"] = round(report.mean_rel_err, 4)
+        benchmark.extra_info["max_rel_err"] = round(report.max_rel_err, 4)
+    benchmark.extra_info["rows"] = [
+        {
+            "label": r.label,
+            "paper": r.paper,
+            "measured": None if r.measured is None else round(r.measured, 4),
+            "unit": r.unit,
+        }
+        for r in report.rows[:40]
+    ]

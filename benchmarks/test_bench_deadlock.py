@@ -1,0 +1,13 @@
+"""Benchmark E-D1: regenerate the Section VIII-B deadlock matrix."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_report
+from repro.experiments.exp_pitfalls import run_deadlock
+
+
+def test_bench_deadlock_matrix(benchmark):
+    report = benchmark.pedantic(run_deadlock, rounds=3, iterations=1)
+    attach_report(benchmark, report)
+    # Every row must match the paper's matrix exactly.
+    assert all(r.measured == r.paper for r in report.rows)

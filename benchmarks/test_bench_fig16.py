@@ -1,0 +1,16 @@
+"""Benchmark E-F16: regenerate Fig 16 (multi-GPU reduction throughput)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_report
+from repro.experiments.exp_reduction import run_fig16
+
+
+def test_bench_fig16_multigpu_reduction(benchmark):
+    report = benchmark.pedantic(run_fig16, rounds=2, iterations=1)
+    attach_report(benchmark, report)
+    rows = {r.label: r for r in report.rows}
+    assert rows["CPU-side >= mgrid throughout"].measured == 1.0
+    assert rows["mgrid scaling factor at 8 GPUs"].measured > 6.5
+    # The gap stays 'hard to notice' (a few percent).
+    assert rows["throughput gap at 8 GPUs"].measured < 0.10

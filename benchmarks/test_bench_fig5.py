@@ -1,0 +1,15 @@
+"""Benchmark E-F5: regenerate the Fig 5 grid-sync heat-maps."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_report
+from repro.experiments.exp_sync import run_fig5
+
+
+def test_bench_fig5_grid_sync_heatmaps(benchmark):
+    report = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    attach_report(benchmark, report)
+    assert report.mean_rel_err < 0.10
+    vals = {r.label: r.measured for r in report.rows}
+    # Latency is dominated by blocks/SM: 32x blocks ~ >10x latency.
+    assert vals["V100 (32 blk/SM, 32 thr)"] > 10 * vals["V100 (1 blk/SM, 32 thr)"]

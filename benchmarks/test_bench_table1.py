@@ -1,0 +1,19 @@
+"""Benchmark E-T1: regenerate Table I (launch overhead / null latency)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_report
+from repro.experiments.exp_launch import run_table1
+
+
+def test_bench_table1_launch_overheads(benchmark):
+    report = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    attach_report(benchmark, report)
+    assert report.mean_rel_err < 0.05
+    # Ordering invariant: traditional <= cooperative < multi-device.
+    vals = {r.label: r.measured for r in report.rows}
+    assert (
+        vals["traditional total latency"]
+        < vals["cooperative total latency"]
+        < vals["multi_device total latency"]
+    )

@@ -1,0 +1,15 @@
+"""Benchmark E-T3: regenerate Table III (proxy bandwidth / concurrency)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_report
+from repro.experiments.exp_model import run_table3
+
+
+def test_bench_table3_concurrency(benchmark):
+    report = benchmark.pedantic(run_table3, rounds=3, iterations=1)
+    attach_report(benchmark, report)
+    assert report.mean_rel_err < 0.03
+    vals = {r.label: r.measured for r in report.rows}
+    # One warp carries 32x the single-thread bandwidth (latency-bound).
+    assert vals["V100 1_warp bandwidth"] / vals["V100 1_thread bandwidth"] > 30

@@ -1,0 +1,15 @@
+"""Benchmark E-T4: regenerate Table IV (switching-point predictions)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_report
+from repro.experiments.exp_model import run_table4
+
+
+def test_bench_table4_switching_points(benchmark):
+    report = benchmark.pedantic(run_table4, rounds=3, iterations=1)
+    attach_report(benchmark, report)
+    assert report.mean_rel_err < 0.03
+    vals = {r.label: r.measured for r in report.rows}
+    # P100's heavy block sync pushes its 1024-thread switch ~3.5x higher.
+    assert vals["P100 block1024 N_large"] > 3 * vals["V100 block1024 N_large"]

@@ -1,0 +1,15 @@
+"""Benchmark E-T5: regenerate Table V (warp-reduce latency per method)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_report
+from repro.experiments.exp_reduction import run_table5
+
+
+def test_bench_table5_warp_reduce(benchmark):
+    report = benchmark.pedantic(run_table5, rounds=3, iterations=1)
+    attach_report(benchmark, report)
+    assert report.mean_rel_err < 0.05
+    notes = {r.label: r.note for r in report.rows}
+    assert "INCORRECT" in notes["V100 nosync"]
+    assert "correct" == notes["V100 tile_shuffle"]

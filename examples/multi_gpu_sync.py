@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Choosing a multi-GPU barrier on a DGX-1 (Sections VI and VII-E).
+
+Three questions a framework author would ask, answered on the simulated
+8x V100 machine:
+
+1. What does one multi-GPU barrier cost with each mechanism, as the job
+   grows from 2 to 8 GPUs?
+2. Where do the latency plateaus come from?  (NVLink cube-mesh hops.)
+3. For an iterative multi-GPU reduction, does the simpler multi-grid
+   programming model actually cost real throughput?  (Barely — Fig 16.)
+
+Run:  python examples/multi_gpu_sync.py
+"""
+
+from __future__ import annotations
+
+from repro import DGX1_V100, KernelEnv, Node, this_multi_grid
+from repro.microbench import cpu_side_barrier_overhead, measure_launch_overhead
+from repro.cudasim import CudaRuntime
+from repro.reduction import make_input, reduce_cpu_barrier, reduce_multigrid
+from repro.util.units import GB
+from repro.viz import render_table
+
+
+def barrier_shootout() -> None:
+    node = Node(DGX1_V100)
+    rows = []
+    for n in (1, 2, 4, 5, 6, 8):
+        env = KernelEnv.multi_device(node, 1, 256, gpu_ids=range(n))
+        mgrid_us = this_multi_grid(env).sync_latency_ns() / 1e3
+        cpu_us = cpu_side_barrier_overhead(DGX1_V100, n).mean / 1e3
+        md_us = measure_launch_overhead(
+            lambda n=n: CudaRuntime.for_node(DGX1_V100, gpu_count=n),
+            "multi_device", devices=list(range(n)), units_scale=400,
+        ).overhead_ns / 1e3
+        rows.append([n, mgrid_us, cpu_us, md_us])
+    print(render_table(
+        ["GPUs", "multi_grid.sync()", "CPU-side (omp)", "multi-device launch"],
+        rows, title="One multi-GPU barrier (us) — reproduces Fig 9",
+    ))
+
+
+def explain_plateaus() -> None:
+    node = Node(DGX1_V100)
+    ic = node.interconnect
+    print("\nNVLink cube-mesh hop distances from GPU 0:")
+    for n in (2, 5, 6, 8):
+        members = list(range(n))
+        hops = ic.max_hops_from(0, members)
+        two_hop = ic.two_hop_members(0, members)
+        print(
+            f"  {n} GPUs: max {hops} hop(s)"
+            + (f", 2-hop members {two_hop}" if two_hop else "")
+        )
+    print(
+        "-> every GPU in {0..4} is one NVLink hop from GPU 0; adding GPU 5\n"
+        "   forces two-hop flag traffic — the 11 us jump between the 2-5 GPU\n"
+        "   and 6-8 GPU plateaus in Fig 8/9."
+    )
+
+
+def iterative_workload() -> None:
+    data = make_input(8 * GB)
+    rows = []
+    for n in (2, 4, 8):
+        m = reduce_multigrid(DGX1_V100, data, gpu_count=n)
+        c = reduce_cpu_barrier(DGX1_V100, data, gpu_count=n)
+        rows.append([n, m.throughput_gbps, c.throughput_gbps,
+                     f"{(1 - m.throughput_gbps / c.throughput_gbps):.1%}"])
+    print()
+    print(render_table(
+        ["GPUs", "multi-grid (GB/s)", "CPU-side (GB/s)", "mgrid penalty"],
+        rows, title="8 GB reduction — reproduces Fig 16",
+    ))
+    print(
+        "-> the multi-grid kernel needs no OpenMP/MPI choreography and no\n"
+        "   knowledge of the node layout; the paper argues the few-percent\n"
+        "   cost should not discourage its use (Section VI-D)."
+    )
+
+
+if __name__ == "__main__":
+    barrier_shootout()
+    explain_plateaus()
+    iterative_workload()

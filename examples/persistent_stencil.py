@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""When does a persistent kernel beat launch-per-step?  (Section VII.)
+
+The reduction case study needs *one* device-wide barrier, so the implicit
+barrier wins (Fig 15).  An iterative stencil needs a barrier *every time
+step*, and a resident persistent kernel can additionally keep its working
+set in shared memory.  This example sweeps grid sizes and time-step counts
+on the simulated V100 to map out where each strategy wins.
+
+Run:  python examples/persistent_stencil.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import stencil_reference, stencil_multi_kernel, stencil_persistent
+from repro.apps.stencil import stencil_strategy_crossover
+from repro.sim.arch import V100
+from repro.viz import render_table
+
+
+def correctness_demo() -> None:
+    rng = np.random.default_rng(0)
+    initial = rng.uniform(size=4096)
+    steps = 50
+    ref = stencil_reference(initial, steps)
+    multi = stencil_multi_kernel(V100, initial, steps)
+    pers = stencil_persistent(V100, initial, steps)
+    print("both strategies reproduce the reference Jacobi solution:",
+          multi.matches(ref) and pers.matches(ref))
+    print(f"  multi-kernel : {multi.total_ns/1e3:9.1f} us "
+          f"({multi.per_step_overhead_ns/1e3:.2f} us overhead/step)")
+    print(f"  persistent   : {pers.total_ns/1e3:9.1f} us "
+          f"({pers.per_step_overhead_ns/1e3:.2f} us grid.sync()/step, "
+          f"smem reuse: {pers.reused_shared_memory})\n")
+
+
+def crossover_sweep() -> None:
+    rows = []
+    for n_points in (1 << 14, 1 << 18, 1 << 22, 1 << 26, 1 << 28):
+        r = stencil_strategy_crossover(V100, n_points, steps=100)
+        rows.append([
+            f"2^{int(np.log2(n_points))}",
+            r["multi_kernel_us"],
+            r["persistent_us"],
+            r["winner"],
+            "yes" if r["reused_shared_memory"] else "no",
+        ])
+    print(render_table(
+        ["grid points", "multi-kernel (us)", "persistent (us)", "winner", "smem reuse"],
+        rows, title="100 Jacobi steps on V100 — strategy crossover",
+    ))
+    print(
+        "-> small grids: the persistent kernel wins on both counts (grid\n"
+        "   sync beats the exposed launch pipeline AND the working set stays\n"
+        "   in shared memory).  Huge grids: each step is bandwidth-bound and\n"
+        "   outlasts the dispatch pipeline, so launch-per-step costs only the\n"
+        "   ~0.8 us gap and the strategies converge — the nuance behind the\n"
+        "   paper's 'implicit barriers are slightly better, but...' advice."
+    )
+
+
+if __name__ == "__main__":
+    correctness_demo()
+    crossover_sweep()

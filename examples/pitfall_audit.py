@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Audit the synchronization pitfalls of Section VIII on both GPUs.
+
+* Does a warp barrier actually hold threads?  (Volta yes, Pascal no —
+  with the Fig 18 per-thread timer staircases rendered in ASCII.)
+* Is the shuffle trustworthy under divergence?
+* Which partial-group syncs deadlock?
+
+Run:  python examples/pitfall_audit.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    partial_sync_deadlock_matrix,
+    shuffle_divergent_works,
+    warp_sync_blocking_trace,
+)
+from repro.sim.arch import P100, V100
+from repro.viz import render_table
+
+
+def ascii_trace(trace, width: int = 60) -> str:
+    """Render start/end timers as two staircase strips (Fig 18 style)."""
+    top = max(max(trace.start_cycles), max(trace.end_cycles)) or 1.0
+    lines = []
+    for tid in range(0, 32, 2):
+        s = int(trace.start_cycles[tid] / top * (width - 1))
+        e = int(trace.end_cycles[tid] / top * (width - 1))
+        row = [" "] * width
+        row[s] = "s"
+        row[min(e, width - 1)] = "E" if row[min(e, width - 1)] == " " else "*"
+        lines.append(f"  t{tid:02d} |" + "".join(row) + "|")
+    return "\n".join(lines)
+
+
+def blocking_study() -> None:
+    for spec in (V100, P100):
+        trace = warp_sync_blocking_trace(spec)
+        verdict = "BLOCKS all threads" if trace.blocks_all_threads else "does NOT block"
+        print(f"{spec.name}: tile.sync() under divergence {verdict}")
+        print(f"  start staircase spans {trace.start_spread_cycles:.0f} cycles; "
+              f"end spread {trace.end_spread_cycles:.0f} cycles")
+        print(ascii_trace(trace))
+        shuffle_ok = shuffle_divergent_works(spec)
+        print(f"  divergent shfl_down correct: {'yes' if shuffle_ok else 'NO'}\n")
+
+
+def deadlock_study() -> None:
+    rows = []
+    for spec in (V100, P100):
+        m = partial_sync_deadlock_matrix(spec).as_dict()
+        rows.extend(
+            [f"{spec.name}: partial {level}", "deadlock" if dl else "completes"]
+            for level, dl in m.items()
+        )
+    print(render_table(["partial-group sync", "outcome"], rows,
+                       title="Section VIII-B deadlock matrix"))
+    print(
+        "-> only grid-level and multi-grid-level groups require every member\n"
+        "   to call sync(); never barrier a subset of a cooperative grid."
+    )
+
+
+if __name__ == "__main__":
+    blocking_study()
+    deadlock_study()

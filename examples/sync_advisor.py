@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The synchronization advisor: Table VIII as an API.
+
+Four questions a kernel author asks, answered with quantitative backing
+for their actual launch geometry.
+
+Run:  python examples/sync_advisor.py
+"""
+
+from __future__ import annotations
+
+from repro.core import advise_block, advise_device, advise_multi_gpu, advise_warp
+from repro.sim.arch import DGX1_V100, P100, V100
+
+
+def show(title: str, advice) -> None:
+    print(f"== {title}")
+    print(f"   use: {advice.recommendation}")
+    print(f"   estimated cost: {advice.estimated_cost_us:.2f} us")
+    for alt in advice.alternatives:
+        print(f"   alternative: {alt}")
+    for caveat in advice.caveats:
+        print(f"   ! {caveat}")
+    print()
+
+
+if __name__ == "__main__":
+    show(
+        "exchange partial sums within a warp (V100)",
+        advise_warp(V100, exchanging_data=True),
+    )
+    show(
+        "exchange partial sums within a warp (P100)",
+        advise_warp(P100, exchanging_data=True),
+    )
+    show(
+        "barrier a 512-thread block (P100)",
+        advise_block(P100, threads_per_block=512),
+    )
+    show(
+        "one device-wide barrier before the host reads back (V100)",
+        advise_device(V100, barriers_per_launch=1),
+    )
+    show(
+        "200 device-wide barriers inside an iterative solver (V100)",
+        advise_device(V100, barriers_per_launch=200, reuses_on_chip_state=True),
+    )
+    show(
+        "synchronize 6 of a DGX-1's GPUs (crosses a 2-hop NVLink boundary)",
+        advise_multi_gpu(DGX1_V100, gpu_ids=range(6)),
+    )
+    show(
+        "synchronize 8 GPUs when only raw speed matters",
+        advise_multi_gpu(DGX1_V100, gpu_ids=range(8), values_programmability=False),
+    )

@@ -1,0 +1,58 @@
+"""repro — reproduction of "A Study of Single and Multi-device
+Synchronization Methods in Nvidia GPUs" (Zhang et al., 2020).
+
+The package is layered bottom-up:
+
+* :mod:`repro.sim`       — discrete-event GPU simulator (engine, SMs,
+  devices, NVLink/PCIe nodes) calibrated to the paper's P100/V100/DGX-1.
+* :mod:`repro.cudasim`   — CUDA-like runtime: kernels, streams, the three
+  launch functions, device synchronization.
+* :mod:`repro.core`      — the paper's contribution: cooperative-groups
+  hierarchy, sync characterization, the Little's-law performance model,
+  pitfall analyses.
+* :mod:`repro.microbench`— the paper's measurement methodologies (kernel
+  fusion, Wong chains, the CPU-clock inter-SM method with its error model).
+* :mod:`repro.reduction` — the reduction-operator case study.
+* :mod:`repro.host`      — OpenMP-style host thread teams.
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+
+Quickstart::
+
+    from repro import V100, KernelEnv, this_grid
+
+    env = KernelEnv.cooperative(V100, blocks_per_sm=2, threads_per_block=256)
+    print(this_grid(env).sync_latency_ns() / 1e3, "us per grid.sync()")
+"""
+
+from repro.core import (
+    KernelEnv,
+    coalesced_threads,
+    this_grid,
+    this_multi_grid,
+    this_thread_block,
+    tiled_partition,
+)
+from repro.cudasim import CudaRuntime, LaunchConfig, NullKernel, SleepKernel, WorkKernel
+from repro.sim import DGX1_V100, P100, P100_PCIE_NODE, V100, Node
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "V100",
+    "P100",
+    "DGX1_V100",
+    "P100_PCIE_NODE",
+    "Node",
+    "CudaRuntime",
+    "LaunchConfig",
+    "NullKernel",
+    "SleepKernel",
+    "WorkKernel",
+    "KernelEnv",
+    "tiled_partition",
+    "coalesced_threads",
+    "this_thread_block",
+    "this_grid",
+    "this_multi_grid",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Application case studies built on the library.
+
+Currently the iterative stencil of the paper's Section VII discussion —
+the workload where a persistent cooperative kernel's data reuse pays for
+its grid syncs.
+"""
+
+from repro.apps.stencil import (
+    StencilResult,
+    stencil_multi_kernel,
+    stencil_persistent,
+    stencil_reference,
+    stencil_strategy_crossover,
+)
+
+__all__ = [
+    "StencilResult",
+    "stencil_reference",
+    "stencil_multi_kernel",
+    "stencil_persistent",
+    "stencil_strategy_crossover",
+]

@@ -1,0 +1,304 @@
+"""Iterative stencil: launch-per-step vs persistent kernel with grid sync.
+
+The paper's Section VII points out a benefit of grid synchronization that
+the reduction case study cannot show: *replacing several kernel invocations
+with a single persistent kernel that includes the time loop inside the
+kernel* — e.g. iterative stencils — both avoids per-step launch machinery
+and "eliminates the possibility of data reuse in shared memory and
+registers" being lost.  This module makes that trade-off measurable.
+
+Two strategies for ``steps`` Jacobi iterations on an ``n``-point 1-D grid:
+
+* **multi-kernel** (one launch per step): every step streams the full grid
+  from HBM and back, and pays the stream's marginal kernel cost — the
+  launch *gap* when the step outlasts the dispatch pipeline, or the full
+  Table I null-kernel latency when it does not.
+* **persistent** (one cooperative launch): every step pays one
+  ``grid.sync()``; when a block's working set fits shared memory, steps
+  after the first run out of shared memory instead of HBM (the data-reuse
+  win).
+
+Both strategies compute the *actual* Jacobi result with numpy and agree
+exactly; only the timing model differs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.cudasim.kernel import LaunchConfig, NullKernel, WorkKernel
+from repro.cudasim.runtime import CudaRuntime
+from repro.sim.arch import GPUSpec
+from repro.sim.device import grid_sync_latency_ns
+from repro.sim.occupancy import blocks_per_sm as occ_blocks_per_sm
+
+__all__ = [
+    "StencilResult",
+    "stencil_reference",
+    "stencil_multi_kernel",
+    "stencil_persistent",
+    "stencil_strategy_crossover",
+]
+
+_BYTES_PER_POINT = 8  # float64, one read + one write stream per step
+
+
+def stencil_reference(initial: np.ndarray, steps: int) -> np.ndarray:
+    """Ground-truth Jacobi smoothing: u[i] <- (u[i-1] + u[i+1]) / 2.
+
+    Fixed (Dirichlet) boundaries; ``steps`` whole-grid iterations.
+    """
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    u = np.asarray(initial, dtype=np.float64).copy()
+    if u.ndim != 1 or len(u) < 3:
+        raise ValueError("stencil needs a 1-D grid of at least 3 points")
+    for _ in range(steps):
+        nxt = u.copy()
+        nxt[1:-1] = 0.5 * (u[:-2] + u[2:])
+        u = nxt
+    return u
+
+
+@dataclass(frozen=True)
+class StencilResult:
+    """Outcome of one measured stencil run."""
+
+    strategy: str
+    n_points: int
+    steps: int
+    values: np.ndarray
+    total_ns: float
+    per_step_overhead_ns: float
+    reused_shared_memory: bool = False
+
+    @property
+    def per_step_us(self) -> float:
+        return self.total_ns / self.steps / 1e3 if self.steps else 0.0
+
+    def matches(self, reference: np.ndarray) -> bool:
+        return bool(np.allclose(self.values, reference, rtol=1e-12, atol=1e-12))
+
+
+def _step_stream_ns(spec: GPUSpec, n_points: int) -> float:
+    """HBM time for one step (read + write the full grid)."""
+    nbytes = 2 * n_points * _BYTES_PER_POINT
+    return nbytes / spec.hbm.effective_gbps("implicit")
+
+
+def stencil_multi_kernel(
+    spec: GPUSpec,
+    initial: np.ndarray,
+    steps: int,
+    threads_per_block: int = 256,
+    seed: int = 0,
+) -> StencilResult:
+    """One traditional launch per time step (the pre-CUDA-9 pattern)."""
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    u = np.asarray(initial, dtype=np.float64)
+    n = len(u)
+    rt = CudaRuntime.single_gpu(spec, seed=seed)
+    eps = spec.launch_calib("traditional").exec_null_ns
+    step_ns = eps + _step_stream_ns(spec, n)
+    blocks = max(1, math.ceil(n / threads_per_block))
+    cfg = LaunchConfig(blocks, threads_per_block)
+
+    state = {"u": u.copy()}
+
+    def body(device, config):
+        cur = state["u"]
+        nxt = cur.copy()
+        nxt[1:-1] = 0.5 * (cur[:-2] + cur[2:])
+        state["u"] = nxt
+
+    def host() -> Generator:
+        yield from rt.launch(NullKernel(), LaunchConfig(1, 32))  # warm-up
+        yield from rt.device_synchronize()
+        t0 = rt.host_clock.read_exact()
+        for _ in range(steps):
+            yield from rt.launch(WorkKernel(step_ns, name="jacobi", body=body), cfg)
+        yield from rt.device_synchronize()
+        return rt.host_clock.read_exact() - t0
+
+    total = rt.run_host(host())
+    per_step_overhead = total / steps - _step_stream_ns(spec, n)
+    return StencilResult(
+        strategy="multi_kernel",
+        n_points=n,
+        steps=steps,
+        values=state["u"],
+        total_ns=total,
+        per_step_overhead_ns=per_step_overhead,
+    )
+
+
+def stencil_persistent(
+    spec: GPUSpec,
+    initial: np.ndarray,
+    steps: int,
+    threads_per_block: int = 256,
+    blocks_per_sm: int = 2,
+    seed: int = 0,
+) -> StencilResult:
+    """One cooperative launch; the time loop lives inside the kernel.
+
+    Each step costs one ``grid.sync()``.  When the per-block working set
+    (points/block plus halo) fits shared memory, steps after the first hit
+    shared memory instead of HBM — the reuse factor is taken from the
+    shared-vs-HBM bandwidth ratio of the architecture's calibration.
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    occ = occ_blocks_per_sm(spec, threads_per_block)
+    if blocks_per_sm > occ.blocks_per_sm:
+        raise ValueError(
+            f"persistent stencil config {blocks_per_sm}x{threads_per_block} "
+            f"not co-resident on {spec.name}"
+        )
+    u = np.asarray(initial, dtype=np.float64)
+    n = len(u)
+    rt = CudaRuntime.single_gpu(spec, seed=seed)
+
+    n_blocks = blocks_per_sm * spec.sm_count
+    points_per_block = math.ceil(n / n_blocks)
+    working_set = (points_per_block + 2) * _BYTES_PER_POINT
+    reuse = working_set <= spec.shared_mem_per_block
+
+    hbm_step = _step_stream_ns(spec, n)
+    if reuse:
+        # Shared-memory step: the whole device streams through the SM
+        # ports; only halo exchange still crosses L2 (folded into the
+        # grid sync it already requires).
+        sm_gbps = (
+            spec.shared_mem.sm_cap_bytes_per_cycle / spec.cycle_ns * spec.sm_count
+        )
+        smem_step = 2 * n * _BYTES_PER_POINT / sm_gbps
+        step_compute = smem_step
+    else:
+        step_compute = hbm_step
+
+    sync_ns = grid_sync_latency_ns(spec, blocks_per_sm, threads_per_block)
+    eps = spec.launch_calib("cooperative").exec_null_ns
+    # First step always loads from HBM; subsequent steps reuse if possible.
+    duration = eps + hbm_step + (steps - 1) * step_compute + steps * sync_ns
+
+    state = {"u": u.copy()}
+
+    def body(device, config):
+        cur = state["u"]
+        for _ in range(steps):
+            nxt = cur.copy()
+            nxt[1:-1] = 0.5 * (cur[:-2] + cur[2:])
+            cur = nxt
+        state["u"] = cur
+
+    cfg = LaunchConfig(n_blocks, threads_per_block)
+    kernel = WorkKernel(duration, name="jacobi-persistent", body=body)
+
+    def host() -> Generator:
+        yield from rt.launch(NullKernel(), LaunchConfig(1, 32))  # warm-up
+        yield from rt.device_synchronize()
+        t0 = rt.host_clock.read_exact()
+        yield from rt.launch_cooperative(kernel, cfg)
+        yield from rt.device_synchronize(launch_type="cooperative")
+        return rt.host_clock.read_exact() - t0
+
+    total = rt.run_host(host())
+    return StencilResult(
+        strategy="persistent",
+        n_points=n,
+        steps=steps,
+        values=state["u"],
+        total_ns=total,
+        per_step_overhead_ns=sync_ns,
+        reused_shared_memory=reuse,
+    )
+
+
+def _multi_kernel_cost_ns(
+    spec: GPUSpec, n_points: int, steps: int, threads_per_block: int
+) -> float:
+    """Analytic total for launch-per-step at the *requested* size.
+
+    Steps longer than the dispatch pipeline hide it and pay only the launch
+    gap; short steps expose the pipeline (the Table I mechanism).
+    """
+    calib = spec.launch_calib("traditional")
+    exec_ns = calib.exec_null_ns + _step_stream_ns(spec, n_points)
+    stall = max(0.0, calib.dispatch_ns - exec_ns)
+    first = calib.api_ns + calib.dispatch_ns + exec_ns
+    marginal = exec_ns + calib.gap_ns + stall
+    return first + (steps - 1) * marginal + calib.sync_return_ns
+
+
+def _persistent_cost_ns(
+    spec: GPUSpec,
+    n_points: int,
+    steps: int,
+    threads_per_block: int,
+    blocks_per_sm: int,
+) -> tuple[float, bool]:
+    """Analytic total + reuse flag for the persistent strategy."""
+    calib = spec.launch_calib("cooperative")
+    n_blocks = blocks_per_sm * spec.sm_count
+    working_set = (math.ceil(n_points / n_blocks) + 2) * _BYTES_PER_POINT
+    reuse = working_set <= spec.shared_mem_per_block
+    hbm_step = _step_stream_ns(spec, n_points)
+    if reuse:
+        sm_gbps = (
+            spec.shared_mem.sm_cap_bytes_per_cycle / spec.cycle_ns * spec.sm_count
+        )
+        step_compute = 2 * n_points * _BYTES_PER_POINT / sm_gbps
+    else:
+        step_compute = hbm_step
+    sync_ns = grid_sync_latency_ns(spec, blocks_per_sm, threads_per_block)
+    duration = (
+        calib.exec_null_ns + hbm_step + (steps - 1) * step_compute + steps * sync_ns
+    )
+    total = calib.api_ns + calib.dispatch_ns + duration + calib.sync_return_ns
+    return total, reuse
+
+
+def stencil_strategy_crossover(
+    spec: GPUSpec,
+    n_points: int,
+    steps: int = 100,
+    threads_per_block: int = 256,
+    blocks_per_sm: int = 2,
+    seed: int = 0,
+) -> dict:
+    """Compare both strategies at a problem size; returns a summary dict.
+
+    Timing comes from the analytic cost models evaluated at the requested
+    ``n_points`` (including the shared-memory-reuse decision); correctness
+    is verified by actually running both strategies on a materialized grid
+    (capped at 64 Ki points).
+    """
+    if n_points < 3:
+        raise ValueError("n_points must be >= 3")
+    rng = np.random.default_rng(seed)
+    initial = rng.uniform(0.0, 1.0, min(n_points, 1 << 16))
+    multi = stencil_multi_kernel(spec, initial, steps, threads_per_block, seed)
+    persistent = stencil_persistent(
+        spec, initial, steps, threads_per_block, blocks_per_sm, seed=seed
+    )
+    reference = stencil_reference(initial, steps)
+
+    multi_total = _multi_kernel_cost_ns(spec, n_points, steps, threads_per_block)
+    persistent_total, reuse = _persistent_cost_ns(
+        spec, n_points, steps, threads_per_block, blocks_per_sm
+    )
+    return {
+        "n_points": n_points,
+        "steps": steps,
+        "multi_kernel_us": multi_total / 1e3,
+        "persistent_us": persistent_total / 1e3,
+        "winner": "persistent" if persistent_total < multi_total else "multi_kernel",
+        "reused_shared_memory": reuse,
+        "correct": multi.matches(reference) and persistent.matches(reference),
+    }

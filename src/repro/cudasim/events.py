@@ -1,0 +1,98 @@
+"""CUDA events: fine-grained stream timing without host round-trips.
+
+``cudaEventRecord`` / ``cudaEventElapsedTime`` are how practitioners time
+kernels when the host-clock protocol of Section IX is too coarse.  The
+simulated event records the stream's pipeline position when recorded and
+resolves to the completion time of the preceding work, exactly like the
+hardware event queue.
+
+Typical host code::
+
+    ev0, ev1 = rt_events.create(), rt_events.create()
+    yield from rt_events.record(ev0, device=0)
+    yield from rt.launch(kernel, cfg)
+    yield from rt_events.record(ev1, device=0)
+    yield from rt_events.synchronize(ev1)
+    elapsed_ms = rt_events.elapsed_ms(ev0, ev1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.cudasim.errors import CudaError
+from repro.cudasim.runtime import CudaRuntime
+from repro.sim.engine import Signal, Timeout
+
+__all__ = ["CudaEvent", "EventApi"]
+
+# Host-side cost of the record call itself.
+_RECORD_API_NS = 150.0
+
+
+@dataclass
+class CudaEvent:
+    """One CUDA event: unrecorded until ``record`` places it in a stream."""
+
+    index: int
+    recorded: bool = False
+    complete_ns: Optional[float] = None
+    _signal: Optional[Signal] = None
+
+    @property
+    def query(self) -> bool:
+        """``cudaEventQuery``: has the event completed (non-blocking)?"""
+        return self._signal is not None and self._signal.fired
+
+
+class EventApi:
+    """Event operations bound to a runtime."""
+
+    def __init__(self, rt: CudaRuntime):
+        self.rt = rt
+        self._count = 0
+
+    def create(self) -> CudaEvent:
+        """``cudaEventCreate``."""
+        self._count += 1
+        return CudaEvent(index=self._count)
+
+    def record(self, event: CudaEvent, device: int = 0) -> Generator:
+        """``cudaEventRecord``: complete when prior stream work completes.
+
+        Recording is in-order: the event resolves at the completion time of
+        everything already enqueued on the stream (or immediately if idle).
+        """
+        yield Timeout(_RECORD_API_NS)
+        stream = self.rt.stream(device)
+        pending = stream.pending
+        sig = Signal(self.rt.engine, name=f"event{event.index}")
+        event._signal = sig
+        event.recorded = True
+        when = stream.pipeline_end_ns
+
+        def _complete():
+            event.complete_ns = when
+            sig.fire(when)
+
+        delay = max(0.0, when - self.rt.engine.now)
+        if pending:
+            # Resolve when the last pending kernel retires.
+            last = pending[-1]
+            last.callbacks.append(lambda _v: _complete())
+        else:
+            self.rt.engine.schedule(delay, _complete)
+        return event
+
+    def synchronize(self, event: CudaEvent) -> Generator:
+        """``cudaEventSynchronize``: block the host thread until complete."""
+        if not event.recorded or event._signal is None:
+            raise CudaError(f"event {event.index} synchronized before record")
+        yield event._signal
+
+    def elapsed_ms(self, start: CudaEvent, end: CudaEvent) -> float:
+        """``cudaEventElapsedTime`` (milliseconds, as in CUDA)."""
+        if start.complete_ns is None or end.complete_ns is None:
+            raise CudaError("elapsed_ms requires both events completed")
+        return (end.complete_ns - start.complete_ns) / 1e6

@@ -1,0 +1,105 @@
+"""Memory copies: host<->device and peer-to-peer transfers.
+
+The CPU-side multi-GPU reduction (Fig 14) moves partial results between
+GPUs with ``cudaMemcpyPeerAsync``; with GPUDirect peer access the payload
+rides NVLink/PCIe directly (Section VII-E).  The copy engine is modeled as
+a stream-ordered operation whose duration comes from the interconnect
+model (peer) or a calibrated host-link bandwidth (H2D/D2H).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.cudasim.errors import CudaError, PeerAccessError
+from repro.cudasim.kernel import LaunchConfig, WorkKernel
+from repro.cudasim.runtime import CudaRuntime
+from repro.sim.memory import DeviceBuffer
+
+__all__ = ["MemcpyApi", "HOST_LINK_GBPS"]
+
+# PCIe 3.0 x16 effective host-link bandwidth (both platforms in Table VII).
+HOST_LINK_GBPS = 12.0
+_MEMCPY_API_NS = 300.0
+_COPY_CFG = LaunchConfig(1, 32)
+
+
+class MemcpyApi:
+    """Copy operations bound to a runtime (stream-ordered, async)."""
+
+    def __init__(self, rt: CudaRuntime):
+        self.rt = rt
+
+    # -- host <-> device ---------------------------------------------------
+
+    def to_device(self, dst: DeviceBuffer, src: np.ndarray) -> Generator:
+        """``cudaMemcpyAsync`` H2D on the destination device's stream."""
+        if src.nbytes != dst.nbytes:
+            raise CudaError(
+                f"H2D size mismatch: host {src.nbytes} B vs device {dst.nbytes} B"
+            )
+        duration = dst.nbytes / HOST_LINK_GBPS
+        host_view = src.copy()
+
+        def body(device, config):
+            dst.copy_from_host(host_view)
+
+        rec = yield from self._enqueue(dst.device_index, duration, "h2d", body)
+        return rec
+
+    def from_device(self, src: DeviceBuffer) -> Generator:
+        """``cudaMemcpyAsync`` D2H; yields, returns (record, out_array).
+
+        The returned array is filled when the copy completes — synchronize
+        the device before reading it.
+        """
+        out = np.zeros_like(src.data)
+        duration = src.nbytes / HOST_LINK_GBPS
+
+        def body(device, config):
+            out[...] = src.data
+
+        rec = yield from self._enqueue(src.device_index, duration, "d2h", body)
+        return rec, out
+
+    # -- peer to peer --------------------------------------------------------
+
+    def peer(self, dst: DeviceBuffer, src: DeviceBuffer) -> Generator:
+        """``cudaMemcpyPeerAsync`` over the node interconnect.
+
+        Requires peer access between the devices (GPUDirect); raises
+        :class:`PeerAccessError` otherwise, as the driver would fall back
+        to staging through the host.
+        """
+        if src.nbytes != dst.nbytes:
+            raise CudaError("peer copy size mismatch")
+        src_dev = self.rt.device(src.device_index)
+        if not src_dev.can_access(dst):
+            raise PeerAccessError(
+                f"peer access {src.device_index}->{dst.device_index} not enabled"
+            )
+        duration = self.rt.node.interconnect.peer_transfer_ns(
+            src.device_index, dst.device_index, src.nbytes
+        )
+
+        def body(device, config):
+            dst.data[...] = src.data
+
+        rec = yield from self._enqueue(src.device_index, duration, "p2p", body)
+        return rec
+
+    # -- internals -------------------------------------------------------------
+
+    def _enqueue(self, device: int, duration_ns: float, kind: str, body) -> Generator:
+        from repro.sim.engine import Timeout
+
+        yield Timeout(_MEMCPY_API_NS)
+        calib = self.rt.device(device).spec.launch_calib("traditional")
+        kernel = WorkKernel(duration_ns, name=f"memcpy-{kind}", body=body)
+        rec = self.rt.stream(device).enqueue(
+            kernel, _COPY_CFG, calib, enqueue_done_ns=self.rt.engine.now
+        )
+        return rec

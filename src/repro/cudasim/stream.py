@@ -1,0 +1,127 @@
+"""CUDA stream model: the ordered launch/dispatch pipeline.
+
+The paper's implicit-barrier study (Section IV) is entirely a property of
+this pipeline.  Model (constants from the launch-type's
+:class:`~repro.sim.arch.LaunchCalib`)::
+
+    enqueue_done = host API return time (api_ns spent on the host thread)
+    start_k = max(enqueue_done_k + dispatch,
+                  end_{k-1} + gap + max(0, dispatch - exec_{k-1}))
+    end_k   = start_k + exec_k
+
+The ``max(0, dispatch - exec_{k-1})`` term is the *unsaturated pipeline*
+effect the paper reports: when kernels are shorter than the dispatch
+pipeline depth, part of the dispatch cannot be hidden behind execution, so
+back-to-back null kernels cost ``gap + dispatch`` each (Table I "kernel
+total latency"), while kernels longer than ~5 µs cost only ``gap`` extra
+(Table I "launch overhead", recovered by the kernel-fusion method).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cudasim.kernel import Kernel, LaunchConfig
+from repro.sim.arch import LaunchCalib
+from repro.sim.device import Device
+from repro.sim.engine import Engine, Signal
+
+__all__ = ["Stream", "LaunchRecord"]
+
+
+@dataclass
+class LaunchRecord:
+    """Bookkeeping for one launched kernel (useful for tests/traces)."""
+
+    kernel_name: str
+    enqueue_done_ns: float
+    start_ns: float
+    end_ns: float
+    exec_ns: float
+    completion: Signal
+
+
+class Stream:
+    """One in-order command queue attached to a device."""
+
+    def __init__(self, engine: Engine, device: Device, index: int = 0):
+        self.engine = engine
+        self.device = device
+        self.index = index
+        self._pipeline_end_ns: Optional[float] = None
+        self._last_exec_ns: Optional[float] = None
+        self.records: List[LaunchRecord] = []
+
+    # -- pipeline queries --------------------------------------------------
+
+    @property
+    def pipeline_end_ns(self) -> float:
+        """Completion time of the last enqueued kernel (or now if idle)."""
+        return self._pipeline_end_ns if self._pipeline_end_ns is not None else self.engine.now
+
+    def earliest_start(
+        self, enqueue_done_ns: float, calib: LaunchCalib, n_gpus: int = 1
+    ) -> float:
+        """Earliest start time for a kernel enqueued at ``enqueue_done_ns``."""
+        dispatch = calib.dispatch_for(n_gpus)
+        start = enqueue_done_ns + dispatch
+        if self._pipeline_end_ns is not None:
+            stall = max(0.0, dispatch - (self._last_exec_ns or 0.0))
+            start = max(start, self._pipeline_end_ns + calib.gap_for(n_gpus) + stall)
+        return start
+
+    # -- enqueue -----------------------------------------------------------
+
+    def enqueue(
+        self,
+        kernel: Kernel,
+        config: LaunchConfig,
+        calib: LaunchCalib,
+        enqueue_done_ns: float,
+        n_gpus: int = 1,
+        start_override_ns: Optional[float] = None,
+    ) -> LaunchRecord:
+        """Commit a kernel to the pipeline; returns its launch record.
+
+        ``start_override_ns`` implements the multi-device launch's
+        synchronized start (all participating devices begin together, no
+        earlier than any device's own constraint).
+        """
+        exec_ns = kernel.duration_ns(self.device, config)
+        start = self.earliest_start(enqueue_done_ns, calib, n_gpus)
+        if start_override_ns is not None:
+            if start_override_ns < start - 1e-9:
+                raise ValueError(
+                    "start_override must not precede the stream's own constraint"
+                )
+            start = start_override_ns
+        end = start + exec_ns
+        completion = Signal(self.engine, name=f"{kernel.name}@s{self.index}.done")
+
+        def _complete(kernel=kernel, config=config, completion=completion):
+            kernel.on_complete(self.device, config)
+            completion.fire()
+
+        self.engine.schedule(end - self.engine.now, _complete)
+
+        self._pipeline_end_ns = end
+        self._last_exec_ns = exec_ns
+        rec = LaunchRecord(
+            kernel_name=kernel.name,
+            enqueue_done_ns=enqueue_done_ns,
+            start_ns=start,
+            end_ns=end,
+            exec_ns=exec_ns,
+            completion=completion,
+        )
+        self.records.append(rec)
+        return rec
+
+    @property
+    def pending(self) -> List[Signal]:
+        """Completion signals not yet fired."""
+        return [r.completion for r in self.records if not r.completion.fired]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stream(dev={self.device.index}, idx={self.index}, launches={len(self.records)})"

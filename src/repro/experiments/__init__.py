@@ -1,0 +1,6 @@
+"""Experiment drivers: one per reproduced table/figure, plus the registry."""
+
+from repro.experiments.base import ComparisonRow, ExperimentReport
+from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["ComparisonRow", "ExperimentReport", "EXPERIMENTS", "run_experiment", "run_all"]

@@ -1,0 +1,100 @@
+"""Experiment report infrastructure.
+
+Every table/figure of the paper has a driver returning an
+:class:`ExperimentReport`: comparison rows of *paper vs measured* plus any
+rendered artifacts (heat-maps, series).  The registry in
+:mod:`repro.experiments.registry` maps experiment ids to drivers; the CLI
+and EXPERIMENTS.md generation both walk it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.viz.tables import render_table
+
+__all__ = ["ComparisonRow", "ExperimentReport"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured comparison."""
+
+    label: str
+    paper: Optional[float]
+    measured: Optional[float]
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def rel_err(self) -> Optional[float]:
+        if self.paper is None or self.measured is None or self.paper == 0:
+            return None
+        return (self.measured - self.paper) / self.paper
+
+
+@dataclass
+class ExperimentReport:
+    """Structured outcome of one experiment driver."""
+
+    exp_id: str
+    title: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+    artifacts: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(
+        self,
+        label: str,
+        paper: Optional[float],
+        measured: Optional[float],
+        unit: str = "",
+        note: str = "",
+    ) -> None:
+        self.rows.append(ComparisonRow(label, paper, measured, unit, note))
+
+    def add_artifact(self, text: str) -> None:
+        self.artifacts.append(text)
+
+    @property
+    def mean_rel_err(self) -> Optional[float]:
+        errs = [abs(r.rel_err) for r in self.rows if r.rel_err is not None]
+        return sum(errs) / len(errs) if errs else None
+
+    @property
+    def max_rel_err(self) -> Optional[float]:
+        errs = [abs(r.rel_err) for r in self.rows if r.rel_err is not None]
+        return max(errs) if errs else None
+
+    def render(self) -> str:
+        """Full ASCII report: comparison table, then artifacts and notes."""
+        table_rows = [
+            [
+                r.label,
+                r.paper,
+                r.measured,
+                r.unit,
+                "-" if r.rel_err is None else f"{r.rel_err:+.1%}",
+                r.note,
+            ]
+            for r in self.rows
+        ]
+        parts = [
+            render_table(
+                ["metric", "paper", "measured", "unit", "err", "note"],
+                table_rows,
+                title=f"[{self.exp_id}] {self.title}",
+            )
+        ]
+        for artifact in self.artifacts:
+            parts.append("")
+            parts.append(artifact)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        if self.mean_rel_err is not None:
+            parts.append(
+                f"summary: mean |err| {self.mean_rel_err:.1%}, "
+                f"max |err| {self.max_rel_err:.1%}"
+            )
+        return "\n".join(parts)

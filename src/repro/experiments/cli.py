@@ -1,0 +1,57 @@
+"""Command-line entry point: ``repro-experiments [ids...]``.
+
+Runs the requested experiments (default: all) and prints their reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'A Study of Single and "
+            "Multi-device Synchronization Methods in Nvidia GPUs' on the "
+            "simulated P100/V100/DGX-1 machines."
+        ),
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"experiments to run (default: all). Available: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in EXPERIMENTS:
+            print(exp_id)
+        return 0
+
+    ids = args.ids or list(EXPERIMENTS)
+    bad = [i for i in ids if i not in EXPERIMENTS]
+    if bad:
+        print(f"unknown experiment(s): {', '.join(bad)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for exp_id in ids:
+        report = run_experiment(exp_id)
+        print(report.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

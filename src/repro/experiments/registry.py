@@ -1,0 +1,55 @@
+"""Registry of every reproduced table and figure.
+
+Maps experiment ids to their drivers.  ``run_all`` executes everything in
+paper order — the CLI and EXPERIMENTS.md generation both go through here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments.base import ExperimentReport
+from repro.experiments.exp_launch import run_fig9, run_table1
+from repro.experiments.exp_model import run_table3, run_table4, run_validation
+from repro.experiments.exp_pitfalls import run_deadlock, run_fig18
+from repro.experiments.exp_reduction import run_fig15, run_fig16, run_table5, run_table6
+from repro.experiments.exp_sync import run_fig4, run_fig5, run_fig7, run_fig8, run_table2
+from repro.experiments.summary import run_summary
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentReport]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "fig15": run_fig15,
+    "table6": run_table6,
+    "fig16": run_fig16,
+    "fig18": run_fig18,
+    "deadlock": run_deadlock,
+    "validation": run_validation,
+    "table8": run_summary,
+}
+
+
+def run_experiment(exp_id: str) -> ExperimentReport:
+    """Run one experiment by id (see :data:`EXPERIMENTS` for the list)."""
+    try:
+        driver = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return driver()
+
+
+def run_all() -> List[ExperimentReport]:
+    """Run every experiment in paper order."""
+    return [driver() for driver in EXPERIMENTS.values()]

@@ -1,0 +1,92 @@
+"""Experiment E-T8: the qualitative observation summary (Table VIII).
+
+Each of the paper's closing observations is re-derived from fresh
+measurements on the simulated machines and reported pass/fail.
+"""
+
+from __future__ import annotations
+
+from repro.core.characterize import block_sync_scan, table2_rows
+from repro.core.pitfalls import partial_sync_deadlock_matrix, warp_sync_blocking_trace
+from repro.experiments.base import ExperimentReport
+from repro.reduction.warp import table5_rows
+from repro.sim.arch import DGX1_V100, P100, V100
+from repro.sim.device import grid_sync_latency_ns
+from repro.sim.node import Node, simulate_multigrid_sync
+
+__all__ = ["run_summary"]
+
+
+def run_summary() -> ExperimentReport:
+    """Re-verify every Table VIII observation."""
+    report = ExperimentReport("table8", "Summary of observations (Table VIII)")
+
+    def check(label: str, ok: bool, note: str = "") -> None:
+        report.add(label, 1.0, 1.0 if ok else 0.0, "bool", note=note)
+
+    # Warp level: does not block on Pascal; shuffle is the better performer
+    # in real code (Table V).
+    check(
+        "warp sync does not block on Pascal",
+        not warp_sync_blocking_trace(P100).blocks_all_threads
+        and warp_sync_blocking_trace(V100).blocks_all_threads,
+    )
+    t5v, t5p = table5_rows(V100), table5_rows(P100)
+    correct_methods = [
+        m for m, v in t5v.items() if v["correct"] and m != "serial"
+    ]
+    check(
+        "shuffle performs best in real code",
+        all(
+            t5v["tile_shuffle"]["latency_cycles"] <= t5v[m]["latency_cycles"]
+            for m in correct_methods
+        )
+        and all(
+            t5p["tile_shuffle"]["latency_cycles"] <= t5p[m]["latency_cycles"]
+            for m in correct_methods
+        ),
+    )
+
+    # Block sync: performance tracks active warps/SM.
+    for spec in (V100, P100):
+        pts = block_sync_scan(spec, warp_counts=(1, 8, 32, 64))
+        rising = all(
+            pts[i].per_warp_throughput <= pts[i + 1].per_warp_throughput * 1.01
+            for i in range(len(pts) - 1)
+        )
+        check(f"{spec.name} block sync throughput rises with active warps", rising)
+
+    # Grid sync: blocks/SM dominates; <= 2 blocks/SM keeps the cost within
+    # ~2.5 us of the launch overhead (the paper's acceptability bound).
+    for spec in (V100, P100):
+        t1 = grid_sync_latency_ns(spec, 1, 32)
+        t2 = grid_sync_latency_ns(spec, 2, 1024)
+        overhead = spec.launch_calib("traditional").gap_ns + spec.launch_calib(
+            "traditional"
+        ).exec_null_ns
+        check(
+            f"{spec.name} grid sync acceptable at <=2 blocks/SM",
+            (t2 - overhead) <= 2600.0,
+            note=f"gap vs launch overhead: {(t2 - overhead)/1e3:.2f} us",
+        )
+        check(f"{spec.name} grid sync slower than launch overhead", t1 > overhead)
+
+    # Multi-grid: both blocks/SM and warps/SM matter; <=1024 thr/SM and
+    # <=8 blocks/SM stays within the paper's "acceptable" envelope
+    # (no more than 2x the fastest config, other than the 1-GPU case).
+    node = Node(DGX1_V100)
+    fastest = simulate_multigrid_sync(node, 1, 32).latency_per_sync_us
+    ok_env = True
+    for b, t in ((1, 1024), (2, 512), (4, 256), (8, 128)):
+        v = simulate_multigrid_sync(node, b, t).latency_per_sync_us
+        ok_env &= v <= 2.0 * fastest
+    check("multi-grid acceptable when thr/SM<=1024 and blk/SM<=8", ok_env)
+
+    # Deadlock rows.
+    m = partial_sync_deadlock_matrix(V100).as_dict()
+    check(
+        "partial grid/multi-grid sync deadlocks (and only those)",
+        m["grid"] and m["multigrid_blocks"] and m["multigrid_gpus"]
+        and not m["warp"] and not m["block"],
+    )
+    return report

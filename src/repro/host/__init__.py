@@ -1,0 +1,5 @@
+"""Host-side substrate: OpenMP-style thread teams for multi-GPU control."""
+
+from repro.host.openmp import OmpTeam
+
+__all__ = ["OmpTeam"]

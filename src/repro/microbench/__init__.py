@@ -1,0 +1,43 @@
+"""Micro-benchmark methodology (Section IX of the paper)."""
+
+from repro.microbench.harness import Measurement, MeasurementConfig, collect
+from repro.microbench.implicit import (
+    LaunchOverheadResult,
+    cpu_side_barrier_overhead,
+    measure_kernel_total_latency,
+    measure_launch_overhead,
+)
+from repro.microbench.inter_sm import (
+    measure_instruction_latency_inter_sm,
+    measure_kernel_total_latency_host,
+    verify_sync_repeat_invariance,
+)
+from repro.microbench.intra_sm import (
+    SharedBandwidthResult,
+    measure_instruction_latency_wong,
+    measure_shared_bandwidth,
+)
+from repro.microbench.stats import (
+    DerivedLatency,
+    derive_instruction_latency,
+    propagated_sigma,
+)
+
+__all__ = [
+    "Measurement",
+    "MeasurementConfig",
+    "collect",
+    "LaunchOverheadResult",
+    "measure_launch_overhead",
+    "measure_kernel_total_latency",
+    "cpu_side_barrier_overhead",
+    "measure_instruction_latency_wong",
+    "measure_shared_bandwidth",
+    "SharedBandwidthResult",
+    "measure_instruction_latency_inter_sm",
+    "measure_kernel_total_latency_host",
+    "verify_sync_repeat_invariance",
+    "DerivedLatency",
+    "derive_instruction_latency",
+    "propagated_sigma",
+]

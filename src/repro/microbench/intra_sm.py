@@ -1,0 +1,132 @@
+"""Wong-style intra-SM micro-benchmarks (Section IX-C).
+
+Wong's method builds a chain of *dependent* operations, reads the SM clock
+register before and after, and divides by the repeat count.  It is exact
+within one SM (the clock is local) — the paper uses it for warp-level
+instruction latencies and we additionally use it for the shared-memory
+proxy kernel of Section VII-B (Fig 10), whose measured bandwidth/latency
+feeds Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.cudasim import instructions as ins
+from repro.sim.arch import GPUSpec
+from repro.sim.engine import Engine, Resource, Timeout
+from repro.sim.exec_thread import ThreadCtx, WarpExecutor
+
+__all__ = [
+    "measure_instruction_latency_wong",
+    "SharedBandwidthResult",
+    "measure_shared_bandwidth",
+]
+
+
+def measure_instruction_latency_wong(
+    spec: GPUSpec,
+    instruction: str = "fadd",
+    repeats: int = 512,
+) -> float:
+    """Latency (cycles) of one instruction via a dependent chain.
+
+    ``instruction`` is one of ``"fadd"``, ``"dadd"``, ``"chain"`` (the
+    shared-memory load+add iteration).  Uses a single thread so the chain
+    is strictly dependent, exactly as in the paper's Fig 19 kernel.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    op_map = {
+        "fadd": lambda: ins.FAdd(count=repeats),
+        "dadd": lambda: ins.DAdd(count=repeats),
+        "chain": lambda: ins.ChainStep(count=repeats),
+    }
+    try:
+        make_op = op_map[instruction]
+    except KeyError:
+        raise ValueError(
+            f"unknown instruction {instruction!r}; expected {sorted(op_map)}"
+        ) from None
+
+    result: dict = {}
+
+    def program(ctx: ThreadCtx) -> Generator:
+        if ctx.tid != 0:
+            return
+        t0 = yield ins.ReadClock()
+        yield make_op()
+        t1 = yield ins.ReadClock()
+        result["cycles"] = t1 - t0
+
+    WarpExecutor(spec, nthreads=1).run(program)
+    # Subtract the trailing clock-read cost included in the window.
+    window = result["cycles"] - spec.instructions.timer_read
+    return window / repeats
+
+
+@dataclass(frozen=True)
+class SharedBandwidthResult:
+    """Measured shared-memory proxy bandwidth (the Table III inputs)."""
+
+    n_threads: int
+    bandwidth_bytes_per_cycle: float
+    chain_latency_cycles: float
+
+    @property
+    def concurrency_bytes(self) -> float:
+        """Little's law (Eq 1): C = T x Thr."""
+        return self.bandwidth_bytes_per_cycle * self.chain_latency_cycles
+
+
+def measure_shared_bandwidth(
+    spec: GPUSpec,
+    n_threads: int,
+    iterations: int = 64,
+    engine: Engine | None = None,
+) -> SharedBandwidthResult:
+    """Bandwidth of the Fig-10 proxy loop for a given thread count.
+
+    Each warp iterates the dependent load+add chain (one 8-byte element per
+    thread per iteration); all warps share the SM's load/store port, whose
+    byte throughput is capped by the architecture (Table III's 1024-thread
+    row is port-bound; the 1-warp row is latency-bound).
+    """
+    if n_threads < 1 or n_threads > spec.max_threads_per_block:
+        raise ValueError(f"n_threads must be in [1,{spec.max_threads_per_block}]")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+
+    sm = spec.shared_mem
+    eng = engine or Engine()
+    port = Resource(eng, capacity=1, name="smem-port")
+
+    full_warps, rem = divmod(n_threads, spec.warp_size)
+    warp_threads = [spec.warp_size] * full_warps + ([rem] if rem else [])
+    chain_ns = spec.cycles_to_ns(sm.chain_latency_cycles)
+
+    def warp_proc(threads: int) -> Generator:
+        bytes_per_iter = threads * sm.element_bytes
+        port_ns = spec.cycles_to_ns(bytes_per_iter / sm.sm_cap_bytes_per_cycle)
+        for _ in range(iterations):
+            start = eng.now
+            yield port.acquire()
+            yield Timeout(port_ns)
+            port.release()
+            remaining = chain_ns - (eng.now - start)
+            if remaining > 0:
+                yield Timeout(remaining)
+
+    t0 = eng.now
+    for i, threads in enumerate(warp_threads):
+        eng.process(warp_proc(threads), name=f"bw-warp{i}")
+    eng.run()
+
+    total_bytes = n_threads * sm.element_bytes * iterations
+    cycles = spec.ns_to_cycles(eng.now - t0)
+    return SharedBandwidthResult(
+        n_threads=n_threads,
+        bandwidth_bytes_per_cycle=total_bytes / cycles,
+        chain_latency_cycles=sm.chain_latency_cycles,
+    )

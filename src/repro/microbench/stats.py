@@ -1,0 +1,62 @@
+"""Error model of the inter-SM measurement method (Section IX-D, Eq 7/8).
+
+The paper measures an instruction's latency from the *CPU clock* by running
+two kernels that differ only in how many times they repeat the instruction::
+
+    T_instruction = (L_k1 - L_k2) / (r1 - r2)                       (Eq 7)
+
+and shows the derived standard deviation shrinks with the repeat-count gap::
+
+    sigma = sqrt(sigma_k1^2 + sigma_k2^2) / (r1 - r2)               (Eq 8)
+
+(the two kernel measurements being independent).  These helpers implement
+exactly that algebra so both the micro-benchmarks and the tests share one
+definition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.microbench.harness import Measurement
+
+__all__ = ["DerivedLatency", "derive_instruction_latency", "propagated_sigma"]
+
+
+def propagated_sigma(sigma1: float, sigma2: float, r1: int, r2: int) -> float:
+    """Eq 8: standard deviation of the derived per-instruction latency."""
+    if r1 == r2:
+        raise ValueError("repeat counts must differ (Eq 7 divides by r1 - r2)")
+    return math.sqrt(sigma1**2 + sigma2**2) / abs(r1 - r2)
+
+
+@dataclass(frozen=True)
+class DerivedLatency:
+    """Instruction latency derived from two kernel total latencies."""
+
+    latency_ns: float
+    sigma_ns: float
+    r1: int
+    r2: int
+
+    def latency_cycles(self, freq_mhz: float) -> float:
+        return self.latency_ns * freq_mhz / 1e3
+
+    def sigma_cycles(self, freq_mhz: float) -> float:
+        return self.sigma_ns * freq_mhz / 1e3
+
+
+def derive_instruction_latency(
+    m1: Measurement, r1: int, m2: Measurement, r2: int
+) -> DerivedLatency:
+    """Apply Eq 7 (mean) and Eq 8 (uncertainty) to two kernel measurements.
+
+    ``m1``/``m2`` are total-latency measurements of kernels repeating the
+    target instruction ``r1``/``r2`` times.
+    """
+    if r1 == r2:
+        raise ValueError("repeat counts must differ")
+    latency = (m1.mean - m2.mean) / (r1 - r2)
+    sigma = propagated_sigma(m1.std, m2.std, r1, r2)
+    return DerivedLatency(latency_ns=latency, sigma_ns=sigma, r1=r1, r2=r2)

@@ -1,0 +1,66 @@
+"""Reduction-operator case study (Section VII of the paper)."""
+
+from repro.reduction.autotune import (
+    ReductionPlan,
+    choose_block_width,
+    choose_warp_or_thread,
+    recommend,
+)
+from repro.reduction.baselines import reduce_cub, reduce_cuda_sample
+from repro.reduction.block import BlockReduceCost, block_reduce_cycles, block_reduce_value
+from repro.reduction.device import (
+    FIG15_SIZES_P100,
+    FIG15_SIZES_V100,
+    REDUCTION_METHODS,
+    ReductionResult,
+    VirtualData,
+    bandwidth_table,
+    latency_vs_size,
+    make_input,
+    reduce_grid_sync,
+    reduce_implicit,
+)
+from repro.reduction.multigpu import (
+    MultiGpuReductionResult,
+    reduce_cpu_barrier,
+    reduce_multigrid,
+    throughput_vs_gpu_count,
+)
+from repro.reduction.warp import (
+    WARP_REDUCE_METHODS,
+    WarpReduceOutcome,
+    table5_rows,
+    warp_reduce_latency_cycles,
+    warp_reduce_value,
+)
+
+__all__ = [
+    "WARP_REDUCE_METHODS",
+    "WarpReduceOutcome",
+    "warp_reduce_value",
+    "warp_reduce_latency_cycles",
+    "table5_rows",
+    "BlockReduceCost",
+    "block_reduce_value",
+    "block_reduce_cycles",
+    "ReductionResult",
+    "VirtualData",
+    "make_input",
+    "reduce_implicit",
+    "reduce_grid_sync",
+    "reduce_cub",
+    "reduce_cuda_sample",
+    "latency_vs_size",
+    "bandwidth_table",
+    "REDUCTION_METHODS",
+    "FIG15_SIZES_V100",
+    "FIG15_SIZES_P100",
+    "MultiGpuReductionResult",
+    "reduce_multigrid",
+    "reduce_cpu_barrier",
+    "throughput_vs_gpu_count",
+    "ReductionPlan",
+    "choose_warp_or_thread",
+    "choose_block_width",
+    "recommend",
+]

@@ -1,0 +1,93 @@
+"""Block-level reduction (the paper's Fig 12 ``block_reduce``).
+
+Structure (exactly the listing): every thread strides over the input
+accumulating a private sum, writes it to shared memory, one ``block.sync()``,
+then warp 0 accumulates the per-thread partials and finishes with the
+shuffle-based warp reduction.
+
+Used two ways:
+
+* functionally (numpy) for the final stage of every device-wide reduction;
+* as a cost model for the tail latency those reductions pay after the
+  bandwidth-bound phase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.arch import GPUSpec
+from repro.sim.sm import block_sync_latency_cycles
+
+__all__ = ["BlockReduceCost", "block_reduce_value", "block_reduce_cycles"]
+
+
+def block_reduce_value(values: np.ndarray, threads: int = 1024) -> float:
+    """Functional block reduction (stride loop + tree), numpy-evaluated.
+
+    Mirrors Fig 12: thread ``t`` accumulates ``values[t::threads]``; the
+    partials are then tree-reduced.  Result is exact for the same reasons
+    the CUDA version is (all adds performed, order differs from ``sum``).
+    """
+    if threads < 32:
+        raise ValueError("block reduce needs at least one warp")
+    arr = np.asarray(values, dtype=np.float64)
+    partials = np.zeros(threads, dtype=np.float64)
+    n = len(arr)
+    for t in range(min(threads, n)):
+        partials[t] = arr[t::threads].sum()
+    return float(partials.sum())
+
+
+@dataclass(frozen=True)
+class BlockReduceCost:
+    """Latency decomposition of one block reduction."""
+
+    stride_cycles: float
+    sync_cycles: float
+    warp_phase_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.stride_cycles + self.sync_cycles + self.warp_phase_cycles
+
+
+def block_reduce_cycles(
+    spec: GPUSpec, n_elements: int, threads: int = 1024
+) -> BlockReduceCost:
+    """Cost model for reducing ``n_elements`` shared-memory residents.
+
+    * stride phase: each thread consumes ``ceil(n/threads)`` elements of the
+      dependent chain, bandwidth-capped at the SM port;
+    * one block sync over the block's warps;
+    * warp 0 reads ``threads/32`` partials and runs the shuffle reduction
+      (Table V's fastest correct variant).
+    """
+    if n_elements < 1:
+        raise ValueError("n_elements must be >= 1")
+    if not (32 <= threads <= spec.max_threads_per_block):
+        raise ValueError(f"threads must be in [32, {spec.max_threads_per_block}]")
+
+    sm = spec.shared_mem
+    iters = math.ceil(n_elements / threads)
+    latency_bound = iters * sm.chain_latency_cycles
+    bytes_total = n_elements * sm.element_bytes
+    port_bound = bytes_total / sm.sm_cap_bytes_per_cycle
+    stride = max(latency_bound, port_bound)
+
+    warps = math.ceil(threads / spec.warp_size)
+    sync = block_sync_latency_cycles(spec, warps)
+
+    from repro.reduction.warp import warp_reduce_latency_cycles
+
+    warp_loads = math.ceil(warps / 1)  # warp 0 reads one partial per warp
+    warp_phase = (
+        warp_loads * spec.instructions.dadd
+        + warp_reduce_latency_cycles(spec, "tile_shuffle")
+    )
+    return BlockReduceCost(
+        stride_cycles=stride, sync_cycles=sync, warp_phase_cycles=warp_phase
+    )

@@ -1,0 +1,212 @@
+"""Whole-GPU device model: grid barrier protocol and device state.
+
+The grid barrier (cooperative groups ``grid.sync()``) is simulated as the
+software protocol CUDA actually uses:
+
+1. every block synchronizes internally (arrive),
+2. one leader warp per block performs a serialized atomic increment on an
+   arrival counter in L2,
+3. the last arrival writes a release flag,
+4. every SM re-dispatches its resident warps.
+
+Step 2's serialization over *all* blocks is why grid-sync latency tracks
+blocks/SM much more strongly than threads/block (Fig 5); step 4 contributes
+the weaker per-warp term.  Partial participation (a subset of blocks calling
+``sync()``) leaves the counter short of the grid size and the simulation
+deadlocks — the Section VIII-B observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from repro.sim.arch import GPUSpec
+from repro.sim.engine import Engine, Resource, Signal, Timeout
+from repro.sim.memory import DeviceBuffer, HBM, L2AtomicUnit
+from repro.sim.occupancy import blocks_per_sm as occ_blocks_per_sm
+
+__all__ = ["Device", "GridSyncResult", "simulate_grid_sync", "grid_sync_latency_ns"]
+
+# How the calibrated fixed cost splits between arrive and release phases.
+# The split does not affect totals; it shapes intermediate event times.
+_ARRIVE_FRACTION = 0.4
+
+
+@dataclass(frozen=True)
+class GridSyncResult:
+    """Outcome of a grid-sync micro-benchmark."""
+
+    blocks_per_sm: int
+    threads_per_block: int
+    total_blocks: int
+    warps_per_sm: int
+    n_syncs: int
+    total_ns: float
+
+    @property
+    def latency_per_sync_ns(self) -> float:
+        return self.total_ns / self.n_syncs
+
+    @property
+    def latency_per_sync_us(self) -> float:
+        return self.latency_per_sync_ns / 1e3
+
+
+def grid_sync_latency_ns(
+    spec: GPUSpec, blocks_per_sm: int, threads_per_block: int
+) -> float:
+    """Closed-form expected latency of one grid sync (for cross-checks).
+
+    ``T = base + total_blocks * atomic_service(b) + warps_per_sm * release``
+    — the relative least-squares fit to the Fig 5 heat-maps, where the L2
+    atomic service time degrades linearly in the outstanding block count.
+    The DES protocol in :func:`simulate_grid_sync` reproduces this
+    structurally.
+    """
+    gs = spec.grid_sync
+    occ = occ_blocks_per_sm(spec, threads_per_block)
+    if blocks_per_sm > occ.blocks_per_sm:
+        raise ValueError(
+            f"{blocks_per_sm} blocks/SM x {threads_per_block} thr/blk "
+            f"not co-resident on {spec.name} (limit {occ.blocks_per_sm})"
+        )
+    total_blocks = blocks_per_sm * spec.sm_count
+    warps_per_sm = blocks_per_sm * occ.warps_per_block
+    return (
+        gs.base_ns
+        + total_blocks * gs.atomic_service_ns(blocks_per_sm, spec.sm_count)
+        + warps_per_sm * gs.per_warp_release_ns
+    )
+
+
+def simulate_grid_sync(
+    spec: GPUSpec,
+    blocks_per_sm: int,
+    threads_per_block: int,
+    n_syncs: int = 1,
+    participating_blocks: Optional[int] = None,
+    engine: Optional[Engine] = None,
+    sm_count: Optional[int] = None,
+) -> GridSyncResult:
+    """Simulate ``n_syncs`` grid barriers with the four-step protocol.
+
+    Parameters
+    ----------
+    participating_blocks:
+        If fewer than the grid size, the barrier can never complete and the
+        run raises :class:`~repro.sim.engine.DeadlockError` — the paper's
+        partial-group pitfall (Section VIII-B).
+    sm_count:
+        Override the SM count (used by the multi-GPU model to build
+        smaller logical devices for tests).
+    """
+    if blocks_per_sm < 1:
+        raise ValueError("blocks_per_sm must be >= 1")
+    if n_syncs < 1:
+        raise ValueError("n_syncs must be >= 1")
+    occ = occ_blocks_per_sm(spec, threads_per_block)
+    if blocks_per_sm > occ.blocks_per_sm:
+        raise ValueError(
+            f"cooperative grid of {blocks_per_sm} blocks/SM x "
+            f"{threads_per_block} threads/block cannot co-reside on {spec.name}"
+        )
+
+    sms = sm_count if sm_count is not None else spec.sm_count
+    total_blocks = blocks_per_sm * sms
+    participants = (
+        total_blocks if participating_blocks is None else participating_blocks
+    )
+    if not (0 < participants <= total_blocks):
+        raise ValueError("participating_blocks must be in (0, total_blocks]")
+
+    gs = spec.grid_sync
+    eng = engine or Engine()
+    l2 = L2AtomicUnit(eng, gs.atomic_service_ns(blocks_per_sm, sms))
+    release_ports = [
+        Resource(eng, capacity=1, name=f"sm{j}-release") for j in range(sms)
+    ]
+
+    arrive_ns = gs.base_ns * _ARRIVE_FRACTION
+    flag_ns = gs.base_ns * (1.0 - _ARRIVE_FRACTION)
+    wpb = occ.warps_per_block
+
+    # Per-round shared state.
+    rounds: List[Dict] = [
+        {"count": 0, "release": Signal(eng, name=f"grid-release-{r}")}
+        for r in range(n_syncs)
+    ]
+
+    def block_proc(block_id: int) -> Generator:
+        sm_id = block_id % sms
+        for r in range(n_syncs):
+            rnd = rounds[r]
+            # 1. intra-block arrive + flag write round-trip.
+            yield Timeout(arrive_ns)
+            # 2. serialized atomic increment at L2.
+            yield from l2.atomic()
+            rnd["count"] += 1
+            if rnd["count"] == total_blocks:
+                # 3. last arrival broadcasts the release flag.
+                release = rnd["release"]
+                eng.schedule(flag_ns, lambda release=release: release.fire())
+            yield rnd["release"]
+            # 4. warp re-dispatch, serialized per SM.
+            port = release_ports[sm_id]
+            for _ in range(wpb):
+                yield port.acquire()
+                yield Timeout(gs.per_warp_release_ns)
+                port.release()
+
+    t0 = eng.now
+    for b in range(participants):
+        eng.process(block_proc(b), name=f"grid-block{b}")
+    eng.run()  # raises DeadlockError when participants < total_blocks
+
+    return GridSyncResult(
+        blocks_per_sm=blocks_per_sm,
+        threads_per_block=threads_per_block,
+        total_blocks=total_blocks,
+        warps_per_sm=blocks_per_sm * wpb,
+        n_syncs=n_syncs,
+        total_ns=eng.now - t0,
+    )
+
+
+class Device:
+    """One simulated GPU: spec + memory system + allocation table.
+
+    The runtime (:mod:`repro.cudasim`) owns streams and launches; the
+    device owns state that persists across kernels — global memory buffers
+    and the bandwidth model used by the reduction workloads.
+    """
+
+    def __init__(self, spec: GPUSpec, index: int = 0):
+        self.spec = spec
+        self.index = index
+        self.hbm = HBM(spec.hbm)
+        self.buffers: Dict[str, DeviceBuffer] = {}
+        self.peer_accessible: set[int] = {index}
+
+    def alloc(self, shape, dtype=None, name: str = "") -> DeviceBuffer:
+        """Allocate a device buffer (numpy-backed)."""
+        import numpy as np
+
+        buf = DeviceBuffer(self.index, shape, dtype or np.float64, name)
+        self.buffers[buf.name] = buf
+        return buf
+
+    def free(self, buf: DeviceBuffer) -> None:
+        self.buffers.pop(buf.name, None)
+
+    def enable_peer_access(self, other_index: int) -> None:
+        """Allow kernels on this device to address ``other_index``'s memory
+        (GPUDirect peer access — the mechanism the multi-GPU reduction's
+        explicit variant relies on, Section VII-E)."""
+        self.peer_accessible.add(other_index)
+
+    def can_access(self, buf: DeviceBuffer) -> bool:
+        return buf.device_index in self.peer_accessible
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Device({self.spec.name}, index={self.index})"

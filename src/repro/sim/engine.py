@@ -1,0 +1,449 @@
+"""Discrete-event simulation engine.
+
+The engine is the foundation of the GPU model: every hardware agent (host
+thread, stream dispatcher, SM scheduler, warp, barrier unit) is a *process* —
+a Python generator driven by the engine.  Processes advance simulated time by
+yielding *yieldables*:
+
+``Timeout(delay)``
+    Resume after ``delay`` simulated nanoseconds.
+``Signal``
+    A one-shot broadcast event; resume when somebody calls ``fire()``.
+``Process``
+    Resume when the target process finishes; receives its return value.
+``AllOf([...])``
+    Resume when every child yieldable has completed.
+``Acquire`` (from :meth:`Resource.acquire`)
+    Resume when a slot of the resource has been granted.
+
+Time is a float measured in **nanoseconds**.  Conversion between device
+cycles and nanoseconds lives in :mod:`repro.sim.clock` so that V100 and P100
+frequency domains can coexist on one timeline (needed for the multi-GPU
+experiments where the host clock spans devices).
+
+Deadlock detection
+------------------
+Section VIII-B of the paper observes real deadlocks when a *subset* of a grid
+or multi-grid group calls ``sync()``.  We reproduce those experiments by
+running them on the simulator and detecting quiescence: if the event heap
+drains while processes are still blocked on signals, the engine raises
+:class:`DeadlockError` naming every blocked process.  This is the simulated
+analogue of the kernel hanging on real hardware.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Engine",
+    "Process",
+    "Signal",
+    "Timeout",
+    "AllOf",
+    "Resource",
+    "DeadlockError",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event heap drains while processes remain blocked.
+
+    Attributes
+    ----------
+    blocked:
+        Names of the processes that were still waiting when the simulation
+        quiesced.  The paper's partial-group sync experiments assert on this.
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        preview = ", ".join(self.blocked[:8])
+        if len(self.blocked) > 8:
+            preview += f", ... ({len(self.blocked)} total)"
+        super().__init__(f"simulation deadlocked; blocked processes: [{preview}]")
+
+
+class Timeout:
+    """Yieldable that resumes the process after ``delay`` nanoseconds.
+
+    ``value`` is delivered back to the generator (defaults to ``None``).
+    Negative delays are rejected: simulated hardware cannot travel back in
+    time, and silently clamping hides cost-model bugs.
+    """
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative Timeout delay: {delay!r}")
+        self.delay = float(delay)
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay!r})"
+
+
+class Signal:
+    """One-shot broadcast event.
+
+    Any number of processes may wait on a signal; ``fire(value)`` wakes all of
+    them with ``value``.  Firing twice is an error (one-shot semantics keep
+    barrier protocols honest).  A signal may be fired before anyone waits; a
+    later wait completes immediately.
+    """
+
+    __slots__ = ("engine", "name", "fired", "value", "_waiters", "callbacks")
+
+    def __init__(self, engine: "Engine", name: str = "signal"):
+        self.engine = engine
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+        self.callbacks: list[Callable[[Any], None]] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal, waking every waiter at the current time."""
+        if self.fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for cb in self.callbacks:
+            cb(value)
+        for proc in waiters:
+            self.engine._schedule_resume(proc, value)
+
+    def _subscribe(self, proc: "Process") -> bool:
+        """Register ``proc`` as a waiter.
+
+        Returns ``True`` if the signal already fired (the caller should
+        resume immediately instead of blocking).
+        """
+        if self.fired:
+            return True
+        self._waiters.append(proc)
+        return False
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else f"{len(self._waiters)} waiting"
+        return f"Signal({self.name!r}, {state})"
+
+
+class AllOf:
+    """Yieldable that completes when every child completes.
+
+    Children may be :class:`Signal`, :class:`Process` or :class:`Timeout`
+    instances.  The delivered value is the list of child values in order.
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Any]):
+        self.children = list(children)
+
+
+@dataclass
+class _Acquire:
+    """Internal yieldable produced by :meth:`Resource.acquire`."""
+
+    resource: "Resource"
+    signal: Signal
+
+
+class Resource:
+    """Counted FIFO resource (e.g. an SM barrier unit or an atomic port).
+
+    ``capacity`` slots are granted in request order.  A holder releases with
+    :meth:`release`.  The common pattern inside a process::
+
+        grant = yield resource.acquire()
+        yield Timeout(service_time)
+        resource.release()
+    """
+
+    def __init__(self, engine: "Engine", capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError("Resource capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: list[Signal] = []
+
+    def acquire(self) -> _Acquire:
+        """Return a yieldable that completes when a slot is granted."""
+        sig = Signal(self.engine, name=f"{self.name}.acquire")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            sig.fire()
+        else:
+            self._queue.append(sig)
+        return _Acquire(self, sig)
+
+    def release(self) -> None:
+        """Release one slot, granting it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            nxt = self._queue.pop(0)
+            nxt.fire()
+        else:
+            self._in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+
+class Process:
+    """A simulated agent: a generator driven by the engine.
+
+    The generator's ``return`` value becomes the process result, retrievable
+    by other processes that yield this process, or via :attr:`result` after
+    :meth:`Engine.run` completes.
+    """
+
+    __slots__ = (
+        "engine",
+        "name",
+        "gen",
+        "done",
+        "result",
+        "error",
+        "_completion",
+        "_waiting_on",
+    )
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = "proc"):
+        self.engine = engine
+        self.name = name
+        self.gen = gen
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._completion = Signal(engine, name=f"{name}.done")
+        self._waiting_on: Optional[str] = None
+
+    # -- driving ---------------------------------------------------------
+
+    def _step(self, send_value: Any) -> None:
+        """Advance the generator by one yield, interpreting the yieldable."""
+        engine = self.engine
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # propagate through engine
+            self.error = exc
+            self.done = True
+            engine._live.discard(self)
+            raise
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        engine = self.engine
+        if isinstance(yielded, Timeout):
+            self._waiting_on = f"timeout({yielded.delay})"
+            engine.schedule(yielded.delay, lambda: self._step(yielded.value))
+        elif isinstance(yielded, Signal):
+            self._waiting_on = f"signal({yielded.name})"
+            if yielded._subscribe(self):
+                engine._schedule_resume(self, yielded.value)
+        elif isinstance(yielded, Process):
+            self._waiting_on = f"process({yielded.name})"
+            if yielded.done:
+                engine._schedule_resume(self, yielded.result)
+            elif yielded._completion._subscribe(self):
+                engine._schedule_resume(self, yielded._completion.value)
+        elif isinstance(yielded, _Acquire):
+            self._waiting_on = f"acquire({yielded.resource.name})"
+            if yielded.signal._subscribe(self):
+                engine._schedule_resume(self, None)
+        elif isinstance(yielded, AllOf):
+            self._wait_all(yielded)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported object {yielded!r}"
+            )
+
+    def _wait_all(self, allof: AllOf) -> None:
+        engine = self.engine
+        children = allof.children
+        if not children:
+            engine._schedule_resume(self, [])
+            return
+        values: list[Any] = [None] * len(children)
+        remaining = len(children)
+
+        def make_cb(i: int) -> Callable[[Any], None]:
+            def cb(value: Any) -> None:
+                nonlocal remaining
+                values[i] = value
+                remaining -= 1
+                if remaining == 0:
+                    engine._schedule_resume(self, values)
+
+            return cb
+
+        self._waiting_on = f"allof({len(children)})"
+        for i, child in enumerate(children):
+            cb = make_cb(i)
+            if isinstance(child, Signal):
+                if child.fired:
+                    cb(child.value)
+                else:
+                    child.callbacks.append(cb)
+            elif isinstance(child, Process):
+                if child.done:
+                    cb(child.result)
+                else:
+                    child._completion.callbacks.append(cb)
+            elif isinstance(child, Timeout):
+                engine.schedule(child.delay, lambda cb=cb, c=child: cb(c.value))
+            else:
+                raise SimulationError(f"AllOf child unsupported: {child!r}")
+
+    def _finish(self, value: Any) -> None:
+        self.done = True
+        self.result = value
+        self._waiting_on = None
+        self.engine._live.discard(self)
+        self._completion.fire(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else (self._waiting_on or "ready")
+        return f"Process({self.name!r}, {state})"
+
+
+class Engine:
+    """Heap-scheduled discrete-event simulator.
+
+    Parameters
+    ----------
+    trace:
+        When true, every event execution is appended to :attr:`trace_log` as
+        ``(time, description)`` — used by a few methodology tests and handy
+        when debugging barrier protocols.
+    """
+
+    def __init__(self, trace: bool = False):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._live: set[Process] = set()
+        self.trace = trace
+        self.trace_log: list[tuple[float, str]] = []
+        self.event_count = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay`` ns (FIFO-ordered at equal times)."""
+        if delay < 0:
+            raise ValueError(f"negative schedule delay: {delay!r}")
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn))
+
+    def _schedule_resume(self, proc: Process, value: Any) -> None:
+        self.schedule(0.0, lambda: proc._step(value))
+
+    def signal(self, name: str = "signal") -> Signal:
+        """Create a new :class:`Signal` bound to this engine."""
+        return Signal(self, name=name)
+
+    def resource(self, capacity: int = 1, name: str = "resource") -> Resource:
+        """Create a new :class:`Resource` bound to this engine."""
+        return Resource(self, capacity=capacity, name=name)
+
+    def process(self, gen: Generator, name: str = "proc") -> Process:
+        """Register ``gen`` as a process and schedule its first step now."""
+        proc = Process(self, gen, name=name)
+        self._live.add(proc)
+        self.schedule(0.0, lambda: proc._step(None))
+        return proc
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        detect_deadlock: bool = True,
+    ) -> float:
+        """Drain the event heap.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulated time would exceed this bound (the pending
+            event is left on the heap).  ``None`` runs to quiescence.
+        detect_deadlock:
+            When the heap drains with live processes still blocked, raise
+            :class:`DeadlockError` (the Section VIII-B behaviour).  Disable
+            for open-ended servers that legitimately idle.
+
+        Returns
+        -------
+        float
+            Simulated time when the run stopped.
+        """
+        heap = self._heap
+        while heap:
+            time, _seq, fn = heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(heap)
+            self.now = time
+            self.event_count += 1
+            if self.trace:
+                self.trace_log.append((time, getattr(fn, "__qualname__", repr(fn))))
+            fn()
+        if detect_deadlock and self._live:
+            blocked = sorted(
+                f"{p.name} waiting on {p._waiting_on}" for p in self._live
+            )
+            raise DeadlockError(blocked)
+        return self.now
+
+    def run_process(self, gen: Generator, name: str = "main") -> Any:
+        """Convenience: register ``gen``, run to quiescence, return result.
+
+        Raises the process's own exception if it failed, or
+        :class:`DeadlockError` if the system hung before it finished.
+        """
+        proc = self.process(gen, name=name)
+        self.run()
+        if proc.error is not None:  # pragma: no cover - re-raise path
+            raise proc.error
+        if not proc.done:
+            raise DeadlockError([f"{name} never completed"])
+        return proc.result
+
+    @property
+    def live_processes(self) -> list[Process]:
+        """Processes that have been started but not yet finished."""
+        return list(self._live)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Engine(now={self.now:.1f}ns, pending={len(self._heap)}, "
+            f"live={len(self._live)})"
+        )

@@ -1,0 +1,426 @@
+"""Thread-precise warp executor.
+
+Simulates the 32 threads of a single warp individually, which is required
+wherever the paper's observations depend on *intra-warp* behaviour:
+
+* Table II warp-sync latencies (tile / coalesced / shuffle),
+* Table V warp-level reduction timing,
+* Figure 18 — whether a warp barrier actually blocks threads
+  (Volta: yes, per-thread program counters; Pascal: no — Section VIII-A).
+
+Each thread is an engine process executing a generator *program* that
+yields :mod:`repro.cudasim.instructions` objects.  Issue is serialized
+through a per-warp port (SIMT front-end); latencies overlap across threads.
+Divergent branch arms (:class:`~repro.cudasim.instructions.Diverge`) hold
+the issue port for the architecture's full arm cost, producing the paper's
+staircase timing.
+
+Warp barriers and shuffles are implemented as *round-keyed rendezvous*
+objects so that a program can sync in a loop: each thread's n-th arrival at
+a group joins round n.  On Pascal the rendezvous is bypassed entirely — the
+instruction costs one cycle, commits the thread's pending shared-memory
+writes (a fence, per Section VII-C) and does not wait.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cudasim import instructions as ins
+from repro.sim.arch import GPUSpec
+from repro.sim.clock import SMClock
+from repro.sim.engine import Engine, Resource, Signal, SimulationError, Timeout
+from repro.sim.memory import SharedMemory
+
+__all__ = ["ThreadCtx", "WarpExecutor", "WarpRunResult", "UnsupportedInstruction"]
+
+
+class UnsupportedInstruction(SimulationError):
+    """Raised when a program uses an instruction the GPU lacks
+    (e.g. ``nanosleep`` on Pascal)."""
+
+
+@dataclass
+class _Round:
+    """State of one rendezvous round for a sync/shuffle group."""
+
+    expected: int
+    arrived: int = 0
+    release: Optional[Signal] = None
+    posted: Dict[int, float] = field(default_factory=dict)
+    last_arrival_ns: float = 0.0
+
+
+class _GroupBoard:
+    """Round-keyed rendezvous board for one (kind, member-set) group."""
+
+    def __init__(self, engine: Engine, members: Tuple[int, ...], name: str):
+        self.engine = engine
+        self.members = members
+        self.name = name
+        self.rounds: Dict[int, _Round] = {}
+        # Lane -> latest value it has ever posted (stale reads on Pascal).
+        self.history: Dict[int, float] = {}
+
+    def round(self, idx: int) -> _Round:
+        rnd = self.rounds.get(idx)
+        if rnd is None:
+            rnd = _Round(expected=len(self.members))
+            rnd.release = Signal(self.engine, name=f"{self.name}.r{idx}")
+            self.rounds[idx] = rnd
+        return rnd
+
+
+@dataclass
+class WarpRunResult:
+    """Outcome of one warp-level simulation run."""
+
+    duration_ns: float
+    duration_cycles: float
+    start_ns: Dict[int, float]
+    end_ns: Dict[int, float]
+    records: Dict[int, Dict[str, Any]]
+    returns: Dict[int, Any]
+    shared: SharedMemory
+    shuffle_incorrect: bool
+
+    def record_series(self, key: str) -> List[Any]:
+        """Collect ``records[tid][key]`` across threads, ordered by tid."""
+        return [self.records[tid].get(key) for tid in sorted(self.records)]
+
+
+class ThreadCtx:
+    """Per-thread view handed to kernel programs.
+
+    ``tid`` is the block-global thread id (offset applied when the warp is
+    part of a :class:`~repro.sim.exec_block.BlockExecutor`); ``lane`` is
+    the intra-warp index.
+    """
+
+    def __init__(self, executor: "WarpExecutor", tid_local: int):
+        self.executor = executor
+        self.tid = executor.tid_offset + tid_local
+        self.lane = tid_local % executor.spec.warp_size
+        self.records: Dict[str, Any] = {}
+
+    @property
+    def nthreads(self) -> int:
+        return self.executor.nthreads
+
+    @property
+    def spec(self) -> GPUSpec:
+        return self.executor.spec
+
+    @property
+    def shared(self) -> SharedMemory:
+        return self.executor.shared
+
+    def record(self, key: str, value: Any) -> None:
+        """Stash a per-thread observation (timers, sums, ...)."""
+        self.records[key] = value
+
+
+class WarpExecutor:
+    """Runs one warp's threads precisely on a fresh engine.
+
+    Parameters
+    ----------
+    spec:
+        GPU architecture (controls every latency and the blocking
+        semantics of warp barriers).
+    nthreads:
+        Number of live threads (1..32); the paper's latency protocol uses
+        a full warp.
+    shared_slots:
+        Size of the block's shared memory in 8-byte slots.
+    """
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        nthreads: int = 32,
+        shared_slots: int = 64,
+        engine: Optional[Engine] = None,
+        shared: Optional[SharedMemory] = None,
+        tid_offset: int = 0,
+        block_barrier: Optional["BlockBarrier"] = None,
+    ):
+        if not (1 <= nthreads <= spec.warp_size):
+            raise ValueError(
+                f"nthreads must be in [1, {spec.warp_size}], got {nthreads}"
+            )
+        self.spec = spec
+        self.nthreads = nthreads
+        self.engine = engine or Engine()
+        self.clock = SMClock(self.engine, spec.freq_mhz)
+        self.shared = shared if shared is not None else SharedMemory(shared_slots)
+        self.tid_offset = tid_offset
+        self.block_barrier = block_barrier
+        self.issue_port = Resource(self.engine, capacity=1, name="warp-issue")
+        self._boards: Dict[Tuple, _GroupBoard] = {}
+        self._round_counters: Dict[Tuple[int, Tuple], int] = {}
+        self.shuffle_incorrect = False
+
+    # -- group management --------------------------------------------------
+
+    def _group_members(
+        self,
+        tid: int,
+        kind: str,
+        group_size: int,
+        mask: int = 0xFFFFFFFF,
+    ) -> Tuple[int, ...]:
+        """Lanes participating in ``tid``'s group of the given kind/size.
+
+        ``mask`` narrows membership the way ``__syncwarp(mask)`` does —
+        a correct program only syncs lanes that will actually arrive, which
+        is why partial *warp* syncs do not deadlock in the paper's
+        Section VIII-B matrix (unlike partial grid/multi-grid syncs).
+        """
+        if kind == "tile":
+            base = (tid // group_size) * group_size
+            lanes = range(base, base + group_size)
+        else:  # coalesced: all mask-selected live threads form one group
+            lanes = range(self.nthreads)
+        return tuple(
+            l for l in lanes if l < self.nthreads and (mask >> l) & 1
+        )
+
+    def _board(self, key: Tuple, members: Tuple[int, ...]) -> _GroupBoard:
+        board = self._boards.get(key)
+        if board is None:
+            board = _GroupBoard(self.engine, members, name=str(key))
+            self._boards[key] = board
+        return board
+
+    def _next_round(self, tid: int, key: Tuple) -> int:
+        ctr_key = (tid, key)
+        idx = self._round_counters.get(ctr_key, 0)
+        self._round_counters[ctr_key] = idx + 1
+        return idx
+
+    # -- latencies ----------------------------------------------------------
+
+    def _sync_latency_cycles(self, kind: str, group_size: int) -> float:
+        ws = self.spec.warp_sync
+        if kind == "tile":
+            return ws.tile_latency
+        if group_size >= self.spec.warp_size:
+            return ws.coalesced_full_latency
+        return ws.coalesced_partial_latency
+
+    def _shuffle_latency_cycles(self, kind: str) -> float:
+        ws = self.spec.warp_sync
+        return ws.shuffle_tile_latency if kind == "tile" else ws.shuffle_coalesced_latency
+
+    # -- instruction interpreters --------------------------------------------
+
+    def _issue(self, hold_cycles: float) -> Generator:
+        """Serialize through the warp issue port for ``hold_cycles``.
+
+        Only *divergent* execution pays this: in converged SIMT code one
+        issue covers all 32 lanes, so ordinary instructions do not
+        serialize across threads.
+        """
+        yield self.issue_port.acquire()
+        yield Timeout(self.spec.cycles_to_ns(hold_cycles))
+        self.issue_port.release()
+
+    def _exec_simple(self, latency_cycles: float) -> Generator:
+        """Converged instruction: pure latency, no cross-thread serialization."""
+        if latency_cycles > 0:
+            yield Timeout(self.spec.cycles_to_ns(latency_cycles))
+
+    def _exec_warp_sync(self, tid: int, op: ins.WarpSync) -> Generator:
+        members = self._group_members(tid, op.kind, op.group_size, op.mask)
+        latency = self._sync_latency_cycles(op.kind, len(members))
+        if not self.spec.warp_sync.blocking:
+            # Pascal: fence semantics only (Section VIII-A / VII-C).
+            self.shared.commit_thread(tid)
+            yield from self._exec_simple(latency)
+            return
+        key = ("sync", op.kind, members)
+        board = self._board(key, members)
+        rnd = board.round(self._next_round(tid, key))
+        rnd.arrived += 1
+        rnd.last_arrival_ns = self.engine.now
+        if rnd.arrived == rnd.expected:
+            self.shared.commit()
+            release = rnd.release
+            self.engine.schedule(
+                self.spec.cycles_to_ns(latency), lambda: release.fire()
+            )
+        yield rnd.release
+
+    def _exec_shuffle(self, tid: int, op: ins.ShuffleDown) -> Generator:
+        members = self._group_members(tid, op.kind, op.width)
+        latency = self._shuffle_latency_cycles(op.kind)
+        key = ("shfl", op.kind, members)
+        board = self._board(key, members)
+        idx = self._next_round(tid, key)
+        rnd = board.round(idx)
+        rnd.posted[tid] = op.value
+        board.history[tid] = op.value
+        rnd.arrived += 1
+
+        src = tid + op.delta
+        in_range = src in members
+
+        if self.spec.warp_sync.blocking:
+            # Volta: shuffle implies synchronization of the group.
+            if rnd.arrived == rnd.expected:
+                release = rnd.release
+                self.engine.schedule(
+                    self.spec.cycles_to_ns(latency), lambda: release.fire()
+                )
+            yield rnd.release
+            value = rnd.posted[src] if in_range else op.value
+            return value
+
+        # Pascal: no blocking.  In converged code lanes post in lockstep so
+        # the partner's value is already on the board; in divergent code the
+        # read goes stale — the paper's "shuffle does not work correctly".
+        yield Timeout(self.spec.cycles_to_ns(max(0.0, latency - 1)))
+        if not in_range:
+            return op.value
+        if src in rnd.posted:
+            return rnd.posted[src]
+        self.shuffle_incorrect = True
+        return board.history.get(src, 0.0)
+
+    def _exec_block_sync(self, tid: int) -> Generator:
+        """``__syncthreads``: cross-warp when block-attached, warp-wide
+        otherwise.  Blocks on every architecture (unlike warp syncs)."""
+        if self.block_barrier is not None:
+            yield from self.block_barrier.arrive(self.tid_offset + tid)
+            return
+        from repro.sim.sm import block_sync_latency_cycles
+
+        members = tuple(range(self.nthreads))
+        latency = block_sync_latency_cycles(self.spec, warps=1)
+        key = ("blocksync", members)
+        board = self._board(key, members)
+        rnd = board.round(self._next_round(tid, key))
+        rnd.arrived += 1
+        if rnd.arrived == rnd.expected:
+            self.shared.commit()
+            release = rnd.release
+            self.engine.schedule(
+                self.spec.cycles_to_ns(latency), lambda: release.fire()
+            )
+        yield rnd.release
+
+    def _interpret(self, tid: int, op: ins.Instruction) -> Generator:
+        """Dispatch one instruction; yields engine yieldables, returns value."""
+        spec = self.spec
+        ic = spec.instructions
+        if isinstance(op, ins.Compute):
+            yield from self._exec_simple(op.cycles)
+        elif isinstance(op, ins.FAdd):
+            yield from self._exec_simple(ic.fadd * op.count)
+        elif isinstance(op, ins.DAdd):
+            yield from self._exec_simple(ic.dadd * op.count)
+        elif isinstance(op, ins.ChainStep):
+            yield from self._exec_simple(
+                spec.shared_mem.chain_latency_cycles * op.count
+            )
+        elif isinstance(op, ins.MethodOverhead):
+            yield from self._exec_simple(op.cycles)
+        elif isinstance(op, ins.ReadClock):
+            yield from self._exec_simple(ic.timer_read)
+            return self.clock.read()
+        elif isinstance(op, ins.Nanosleep):
+            if not spec.has_nanosleep:
+                raise UnsupportedInstruction(
+                    f"nanosleep is not available on {spec.name} "
+                    "(Volta-only instruction, Section IX-B)"
+                )
+            yield Timeout(op.ns)
+        elif isinstance(op, ins.Diverge):
+            # Serialized divergent arm: hold the issue port for the full
+            # arm cost so later arms (higher tids) start later.
+            yield from self._issue(ic.divergent_arm_cycles * op.arms)
+        elif isinstance(op, ins.SharedLoad):
+            yield from self._exec_simple(ic.shared_ld)
+            return self.shared.load(
+                self.tid_offset + tid, op.slot, volatile=op.volatile
+            )
+        elif isinstance(op, ins.SharedStore):
+            yield from self._exec_simple(ic.shared_st)
+            self.shared.store(
+                self.tid_offset + tid, op.slot, op.value, volatile=op.volatile
+            )
+        elif isinstance(op, ins.WarpSync):
+            yield from self._exec_warp_sync(tid, op)
+        elif isinstance(op, ins.BlockSync):
+            yield from self._exec_block_sync(tid)
+        elif isinstance(op, ins.ShuffleDown):
+            value = yield from self._exec_shuffle(tid, op)
+            return value
+        else:
+            raise SimulationError(f"unknown instruction {op!r}")
+        return None
+
+    # -- running --------------------------------------------------------------
+
+    def _thread_proc(
+        self,
+        tid_local: int,
+        program: Callable[[ThreadCtx], Generator],
+        result: WarpRunResult,
+    ) -> Generator:
+        ctx = ThreadCtx(self, tid_local)
+        gtid = ctx.tid
+        result.start_ns[gtid] = self.engine.now
+        gen = program(ctx)
+        value: Any = None
+        try:
+            while True:
+                op = gen.send(value)
+                value = yield from self._interpret(tid_local, op)
+        except StopIteration as stop:
+            result.returns[gtid] = stop.value
+        result.end_ns[gtid] = self.engine.now
+        result.records[gtid] = ctx.records
+        return result.returns.get(gtid)
+
+    def start(
+        self,
+        program: Callable[[ThreadCtx], Generator],
+        result: Optional[WarpRunResult] = None,
+    ) -> WarpRunResult:
+        """Spawn every thread process without driving the engine.
+
+        Used by :class:`~repro.sim.exec_block.BlockExecutor`, which owns
+        the engine and starts several warps before running.
+        """
+        if result is None:
+            result = WarpRunResult(
+                duration_ns=0.0,
+                duration_cycles=0.0,
+                start_ns={},
+                end_ns={},
+                records={},
+                returns={},
+                shared=self.shared,
+                shuffle_incorrect=False,
+            )
+        for tid_local in range(self.nthreads):
+            self.engine.process(
+                self._thread_proc(tid_local, program, result),
+                name=f"t{self.tid_offset + tid_local}",
+            )
+        return result
+
+    def run(self, program: Callable[[ThreadCtx], Generator]) -> WarpRunResult:
+        """Execute ``program`` on every thread; return timing and records."""
+        t0 = self.engine.now
+        result = self.start(program)
+        self.engine.run()
+        result.duration_ns = self.engine.now - t0
+        result.duration_cycles = self.spec.ns_to_cycles(result.duration_ns)
+        result.shuffle_incorrect = self.shuffle_incorrect
+        return result

@@ -1,0 +1,149 @@
+"""Multi-GPU interconnect topologies.
+
+The paper attributes its multi-grid synchronization plateaus (2–5 GPUs vs
+6–8 GPUs, Fig 8/9) to "the internal NVLink network structure of DGX-1".
+We encode the actual DGX-1 (V100) NVLink hybrid cube-mesh as a
+:mod:`networkx` graph and derive hop counts from it, so the plateau
+structure *emerges from the topology* rather than being tabulated.
+
+DGX-1 NVLink link list (Nvidia DGX-1 system architecture whitepaper)::
+
+    quad 0: 0-1 0-2 0-3  1-2 1-3  2-3   (plus intra-quad double links)
+    quad 1: 4-5 4-6 4-7  5-6 5-7  6-7
+    cross : 0-4  1-5  2-6  3-7
+
+GPU *i* therefore reaches its own quad and its cube partner in one hop, and
+the remaining three GPUs of the other quad in two hops.  With GPU 0 as the
+barrier leader: sets {0..k} for k<=4 are all 1-hop; adding GPU 5, 6 or 7
+introduces 2-hop members — exactly where the paper's latency jumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "Interconnect",
+    "build_dgx1_nvlink",
+    "build_pcie",
+    "build_interconnect",
+    "DGX1_NVLINK_LINKS",
+]
+
+# Hybrid cube-mesh of the V100 DGX-1 (single-link edges; the doubled links
+# inside a quad affect bandwidth, not barrier hop count, so they are
+# represented by an edge attribute instead of parallel edges).
+DGX1_NVLINK_LINKS: Tuple[Tuple[int, int], ...] = (
+    (0, 1), (0, 2), (0, 3), (0, 4),
+    (1, 2), (1, 3), (1, 5),
+    (2, 3), (2, 6),
+    (3, 7),
+    (4, 5), (4, 6), (4, 7),
+    (5, 6), (5, 7),
+    (6, 7),
+)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Per-link characteristics used by the peer-transfer model."""
+
+    latency_ns: float
+    bandwidth_gbps: float
+
+
+class Interconnect:
+    """A GPU-to-GPU network with hop and bandwidth queries."""
+
+    def __init__(self, name: str, graph: nx.Graph, link: LinkSpec):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("interconnect graph must not be empty")
+        self.name = name
+        self.graph = graph
+        self.link = link
+        self._hops = dict(nx.all_pairs_shortest_path_length(graph))
+
+    @property
+    def gpu_count(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def hops(self, src: int, dst: int) -> int:
+        """Shortest hop count between two GPUs (0 for src == dst)."""
+        try:
+            return self._hops[src][dst]
+        except KeyError:
+            raise ValueError(f"no path {src} -> {dst} in {self.name}") from None
+
+    def max_hops_from(self, leader: int, members: Sequence[int]) -> int:
+        """Maximum hop distance from ``leader`` to any member GPU."""
+        if leader not in self.graph:
+            raise ValueError(f"GPU {leader} not in {self.name}")
+        return max((self.hops(leader, m) for m in members), default=0)
+
+    def two_hop_members(self, leader: int, members: Sequence[int]) -> List[int]:
+        """Member GPUs at distance >= 2 from the leader."""
+        return [m for m in members if self.hops(leader, m) >= 2]
+
+    def neighbors(self, gpu: int) -> List[int]:
+        return sorted(self.graph.neighbors(gpu))
+
+    def peer_transfer_ns(self, src: int, dst: int, nbytes: int) -> float:
+        """Time to move ``nbytes`` from ``src`` to ``dst`` (store-and-forward
+        per hop for the latency part, bottleneck link bandwidth for the
+        payload part)."""
+        if src == dst:
+            return 0.0
+        h = self.hops(src, dst)
+        return h * self.link.latency_ns + nbytes / self.link.bandwidth_gbps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interconnect({self.name!r}, gpus={self.gpu_count})"
+
+
+def build_dgx1_nvlink() -> Interconnect:
+    """The 8-GPU DGX-1 NVLink hybrid cube-mesh.
+
+    NVLink 2.0: ~25 GB/s per direction per link; intra-quad GPU pairs with
+    doubled links get a ``double`` edge attribute.  One-hop latency ~1.3 us
+    for a flag round-trip under barrier conditions (folded into the
+    cross-GPU calibration; the LinkSpec latency is the raw write latency).
+    """
+    g = nx.Graph()
+    g.add_nodes_from(range(8))
+    for a, b in DGX1_NVLINK_LINKS:
+        g.add_edge(a, b, double=(a // 4 == b // 4))
+    return Interconnect("dgx1-nvlink", g, LinkSpec(latency_ns=700.0, bandwidth_gbps=25.0))
+
+
+def build_pcie(gpu_count: int = 2) -> Interconnect:
+    """PCIe tree: every GPU pair communicates through the host root complex.
+
+    Modeled as a star around a virtual switch — here simply a complete graph
+    with uniformly slow links, since every peer path crosses the same
+    root complex (the paper's dual-P100 box).
+    """
+    if gpu_count < 1:
+        raise ValueError("gpu_count must be >= 1")
+    g = nx.complete_graph(gpu_count) if gpu_count > 1 else nx.Graph([(0, 0)])
+    if gpu_count == 1:
+        g = nx.Graph()
+        g.add_node(0)
+    return Interconnect("pcie", g, LinkSpec(latency_ns=1900.0, bandwidth_gbps=11.0))
+
+
+def build_interconnect(kind: str, gpu_count: int) -> Interconnect:
+    """Factory used by :class:`repro.sim.node.Node`."""
+    if kind == "nvlink-cube-mesh":
+        ic = build_dgx1_nvlink()
+        if gpu_count > ic.gpu_count:
+            raise ValueError(f"DGX-1 has 8 GPUs, requested {gpu_count}")
+        if gpu_count < ic.gpu_count:
+            sub = ic.graph.subgraph(range(gpu_count)).copy()
+            return Interconnect("dgx1-nvlink", sub, ic.link)
+        return ic
+    if kind == "pcie":
+        return build_pcie(gpu_count)
+    raise ValueError(f"unknown interconnect kind {kind!r}")

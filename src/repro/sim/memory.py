@@ -1,0 +1,219 @@
+"""Memory system models: shared memory, L2 atomics, HBM, device buffers.
+
+Three distinct concerns live here:
+
+* **Functional state** — :class:`SharedMemory` and :class:`DeviceBuffer`
+  hold real numpy data so the reduction case study computes *actual sums*
+  and the no-sync race produces *actually wrong* answers.
+* **Visibility semantics** — :class:`SharedMemory` implements the
+  pending/committed model the paper's Table V hinges on: a plain store is
+  not visible to *other* threads until a synchronization (or the program
+  declared the buffer ``volatile``); reading another thread's uncommitted
+  slot yields the stale committed value and records a race.
+* **Timing** — :class:`L2AtomicUnit` (serialized atomic port used by the
+  grid barrier protocol) and :class:`HBM` (streaming bandwidth model used
+  by the reduction experiments) turn byte counts into nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.sim.arch import GPUSpec, HBMCalib
+from repro.sim.engine import Engine, Resource
+
+__all__ = ["SharedMemory", "L2AtomicUnit", "HBM", "DeviceBuffer", "RaceRecord"]
+
+
+@dataclass(frozen=True)
+class RaceRecord:
+    """One detected read of a not-yet-visible shared-memory slot."""
+
+    reader: int
+    writer: int
+    slot: int
+    step: Optional[int] = None
+
+
+class SharedMemory:
+    """Shared memory of one block with CUDA visibility semantics.
+
+    The model distinguishes a *committed* array (what other threads see)
+    from *pending* writes (visible only to the writing thread).  A barrier
+    or fence commits all pending writes; ``volatile`` accesses bypass the
+    pending buffer entirely — exactly the mechanism by which the paper's
+    ``volatile``-qualified reduction is correct without explicit sync while
+    the plain no-sync variant is not (Table V).
+    """
+
+    def __init__(self, slots: int, dtype=np.float64):
+        if slots <= 0:
+            raise ValueError("shared memory must have at least one slot")
+        self.slots = slots
+        self.committed = np.zeros(slots, dtype=dtype)
+        self.pending = np.zeros(slots, dtype=dtype)
+        self.pending_owner = np.full(slots, -1, dtype=np.int64)
+        self.races: List[RaceRecord] = []
+
+    # -- stores ----------------------------------------------------------
+
+    def store(self, thread: int, slot: int, value: float, volatile: bool = False) -> None:
+        """Write ``value``; plain writes stay pending for other threads."""
+        self._check_slot(slot)
+        if volatile:
+            self.committed[slot] = value
+            self.pending_owner[slot] = -1
+        else:
+            self.pending[slot] = value
+            self.pending_owner[slot] = thread
+
+    # -- loads -----------------------------------------------------------
+
+    def load(
+        self,
+        thread: int,
+        slot: int,
+        volatile: bool = False,
+        step: Optional[int] = None,
+    ) -> float:
+        """Read a slot under the visibility rules.
+
+        A plain read of another thread's pending write returns the stale
+        committed value and records a :class:`RaceRecord` — the simulated
+        analogue of the compiler/hardware keeping the value in a register.
+        """
+        self._check_slot(slot)
+        owner = int(self.pending_owner[slot])
+        if owner == -1:
+            return float(self.committed[slot])
+        if owner == thread or volatile:
+            # Own writes are always visible to self; volatile reads snoop
+            # the latest value regardless of commit state.
+            return float(self.pending[slot])
+        self.races.append(RaceRecord(reader=thread, writer=owner, slot=slot, step=step))
+        return float(self.committed[slot])
+
+    # -- synchronization -------------------------------------------------
+
+    def commit(self) -> int:
+        """Commit all pending writes (the effect of any barrier/fence).
+
+        Returns the number of slots committed.
+        """
+        mask = self.pending_owner >= 0
+        n = int(mask.sum())
+        if n:
+            self.committed[mask] = self.pending[mask]
+            self.pending_owner[mask] = -1
+        return n
+
+    def commit_thread(self, thread: int) -> int:
+        """Commit only one thread's pending writes (per-thread fence)."""
+        mask = self.pending_owner == thread
+        n = int(mask.sum())
+        if n:
+            self.committed[mask] = self.pending[mask]
+            self.pending_owner[mask] = -1
+        return n
+
+    @property
+    def race_detected(self) -> bool:
+        return bool(self.races)
+
+    def _check_slot(self, slot: int) -> None:
+        if not (0 <= slot < self.slots):
+            raise IndexError(f"shared memory slot {slot} out of range [0,{self.slots})")
+
+
+class L2AtomicUnit:
+    """Serialized atomic port at the L2 cache.
+
+    The grid barrier's per-block ``atomicAdd`` on the arrival counter is
+    serviced here; serialization across all arriving blocks is what makes
+    grid-sync latency scale with *total block count* (paper Fig 5 — latency
+    tracks blocks/SM, weakly threads/block).
+    """
+
+    def __init__(self, engine: Engine, service_ns: float, name: str = "l2-atomic"):
+        if service_ns < 0:
+            raise ValueError("service_ns must be non-negative")
+        self.engine = engine
+        self.service_ns = float(service_ns)
+        self.port = Resource(engine, capacity=1, name=name)
+        self.ops = 0
+
+    def atomic(self):
+        """Process helper: perform one serialized atomic op.
+
+        Usage inside a process::
+
+            yield from l2.atomic()
+        """
+        yield self.port.acquire()
+        from repro.sim.engine import Timeout  # local import avoids cycle at module load
+
+        yield Timeout(self.service_ns)
+        self.ops += 1
+        self.port.release()
+
+
+class HBM:
+    """Device-memory streaming model.
+
+    Timing is analytic — ``bytes / effective_bandwidth`` — because the
+    reduction workloads stream gigabytes and the paper itself models them
+    as bandwidth-bound (Section VII-B).  Method-specific efficiencies come
+    from the :class:`~repro.sim.arch.HBMCalib` block (Table VI).
+    """
+
+    def __init__(self, calib: HBMCalib):
+        self.calib = calib
+
+    def transfer_ns(self, nbytes: int, method: str = "implicit") -> float:
+        """Time to stream ``nbytes`` under ``method``'s access pattern."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        gbps = self.calib.effective_gbps(method)
+        return nbytes / gbps  # GB/s == bytes/ns
+
+    def effective_gbps(self, method: str = "implicit") -> float:
+        return self.calib.effective_gbps(method)
+
+    @property
+    def theory_gbps(self) -> float:
+        return self.calib.theory_gbps
+
+
+class DeviceBuffer:
+    """A global-memory allocation on one device (numpy-backed)."""
+
+    _next_id = 0
+
+    def __init__(self, device_index: int, shape, dtype=np.float64, name: str = ""):
+        self.device_index = device_index
+        self.data = np.zeros(shape, dtype=dtype)
+        DeviceBuffer._next_id += 1
+        self.name = name or f"buf{DeviceBuffer._next_id}"
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def copy_from_host(self, array: np.ndarray) -> None:
+        if array.shape != self.data.shape:
+            raise ValueError(
+                f"shape mismatch: buffer {self.data.shape} vs host {array.shape}"
+            )
+        self.data[...] = array
+
+    def to_host(self) -> np.ndarray:
+        return self.data.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeviceBuffer({self.name!r}, dev={self.device_index}, "
+            f"shape={self.data.shape}, dtype={self.data.dtype})"
+        )

@@ -1,0 +1,219 @@
+"""Multi-GPU node model: devices + interconnect + multi-grid barrier.
+
+The multi-grid barrier (``multi_grid.sync()``) has two phases:
+
+* a **local phase** per GPU — structurally the grid barrier but with
+  system-scope fences, making every per-block and per-warp cost heavier
+  (the :class:`~repro.sim.arch.MultiGridLocalCalib` block, fit to the
+  1-GPU columns of Figs 7/8);
+* a **cross-GPU phase** — leader GPUs exchange arrival/release flags over
+  the interconnect.  Its cost depends on the *topology*: on the DGX-1
+  cube-mesh, every GPU reachable in one NVLink hop from the leader adds a
+  small increment, while any two-hop member forces the flag traffic
+  through an intermediate GPU and adds the large penalty that creates the
+  paper's 2–5 GPU vs 6–8 GPU plateaus (Figs 8/9).
+
+Partial participation — whether a missing GPU or a missing block inside
+one GPU — hangs the barrier (Section VIII-B): the simulation raises
+:class:`~repro.sim.engine.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.sim.arch import NodeSpec
+from repro.sim.device import Device
+from repro.sim.engine import AllOf, Engine, Signal, Timeout
+from repro.sim.interconnect import Interconnect, build_interconnect
+from repro.sim.occupancy import blocks_per_sm as occ_blocks_per_sm
+
+__all__ = [
+    "Node",
+    "MultiGridSyncResult",
+    "multigrid_local_latency_ns",
+    "cross_gpu_latency_ns",
+    "simulate_multigrid_sync",
+]
+
+
+@dataclass(frozen=True)
+class MultiGridSyncResult:
+    """Outcome of a multi-grid sync micro-benchmark."""
+
+    gpu_ids: tuple
+    blocks_per_sm: int
+    threads_per_block: int
+    n_syncs: int
+    total_ns: float
+    local_ns: float
+    cross_ns: float
+
+    @property
+    def latency_per_sync_ns(self) -> float:
+        return self.total_ns / self.n_syncs
+
+    @property
+    def latency_per_sync_us(self) -> float:
+        return self.latency_per_sync_ns / 1e3
+
+
+class Node:
+    """A multi-GPU server: devices, interconnect, peer-access matrix."""
+
+    def __init__(self, spec: NodeSpec, gpu_count: Optional[int] = None):
+        n = gpu_count if gpu_count is not None else spec.gpu_count
+        if not (1 <= n <= spec.gpu_count):
+            raise ValueError(
+                f"gpu_count must be in [1, {spec.gpu_count}] for {spec.name}"
+            )
+        self.spec = spec
+        self.devices: List[Device] = [Device(spec.gpu, i) for i in range(n)]
+        self.interconnect: Interconnect = build_interconnect(spec.interconnect, n)
+
+    @property
+    def gpu_count(self) -> int:
+        return len(self.devices)
+
+    def device(self, index: int) -> Device:
+        try:
+            return self.devices[index]
+        except IndexError:
+            raise ValueError(
+                f"GPU {index} out of range [0,{self.gpu_count})"
+            ) from None
+
+    def enable_all_peer_access(self) -> None:
+        """Enable peer access between every device pair (DGX-style)."""
+        for a in self.devices:
+            for b in self.devices:
+                a.enable_peer_access(b.index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.spec.name!r}, gpus={self.gpu_count})"
+
+
+def multigrid_local_latency_ns(
+    spec: NodeSpec, blocks_per_sm: int, threads_per_block: int
+) -> float:
+    """Single-GPU component of one multi-grid sync.
+
+    ``T = base + pb*b + pw*w + pbw*b*w + pw2*w^2`` with ``b`` = blocks/SM
+    and ``w`` = warps/SM (relative LSQ fit to the 1-GPU panels of Figs 7/8;
+    DESIGN.md §5).
+    """
+    gpu = spec.gpu
+    occ = occ_blocks_per_sm(gpu, threads_per_block)
+    if blocks_per_sm > occ.blocks_per_sm:
+        raise ValueError(
+            f"{blocks_per_sm} blocks/SM x {threads_per_block} thr/blk "
+            f"not co-resident on {gpu.name}"
+        )
+    return gpu.multigrid_local.local_ns(
+        blocks_per_sm, blocks_per_sm * occ.warps_per_block
+    )
+
+
+def cross_gpu_latency_ns(
+    spec: NodeSpec,
+    interconnect: Interconnect,
+    gpu_ids: Sequence[int],
+    blocks_per_sm: int,
+) -> float:
+    """Cross-GPU phase of one multi-grid sync over ``gpu_ids``.
+
+    ``T = base + per_gpu*(n-1) + hop2_penalty*[max_hop>=2]
+          + per_2hop*n_2hop + release_coef*(b^1.5 - 1)``
+
+    Hop counts come from the interconnect graph with the lowest-numbered
+    participant as leader (CUDA uses the first device of the launch).
+    """
+    n = len(gpu_ids)
+    if n <= 1:
+        return 0.0
+    cg = spec.cross_gpu
+    leader = min(gpu_ids)
+    max_hop = interconnect.max_hops_from(leader, list(gpu_ids))
+    n_2hop = len(interconnect.two_hop_members(leader, list(gpu_ids)))
+    t = cg.base_ns + cg.per_gpu_ns * (n - 1)
+    if max_hop >= 2:
+        t += cg.hop2_penalty_ns + cg.per_2hop_gpu_ns * n_2hop
+    t += cg.release_coef_ns * (blocks_per_sm**cg.release_exponent - 1.0)
+    return t
+
+
+def simulate_multigrid_sync(
+    node: Node,
+    blocks_per_sm: int,
+    threads_per_block: int,
+    gpu_ids: Optional[Sequence[int]] = None,
+    n_syncs: int = 1,
+    participating_gpus: Optional[Sequence[int]] = None,
+    full_local_participation: bool = True,
+    engine: Optional[Engine] = None,
+) -> MultiGridSyncResult:
+    """Simulate ``n_syncs`` multi-grid barriers across ``gpu_ids``.
+
+    Parameters
+    ----------
+    participating_gpus:
+        GPUs that actually call ``sync()``.  A strict subset of
+        ``gpu_ids`` deadlocks (Section VIII-B).
+    full_local_participation:
+        When false, one GPU's grid only partially arrives — also a
+        deadlock, covering the "parts of blocks in a multi-grid group"
+        case of the paper's pitfall matrix.
+    """
+    if n_syncs < 1:
+        raise ValueError("n_syncs must be >= 1")
+    ids = tuple(gpu_ids) if gpu_ids is not None else tuple(range(node.gpu_count))
+    if not ids:
+        raise ValueError("gpu_ids must not be empty")
+    for g in ids:
+        node.device(g)  # validates range
+    arrivals_expected = set(ids)
+    callers = set(participating_gpus) if participating_gpus is not None else set(ids)
+    if not callers <= arrivals_expected:
+        raise ValueError("participating_gpus must be a subset of gpu_ids")
+
+    local_ns = multigrid_local_latency_ns(node.spec, blocks_per_sm, threads_per_block)
+    cross_ns = cross_gpu_latency_ns(node.spec, node.interconnect, ids, blocks_per_sm)
+    arrive_ns = 0.5 * local_ns
+    release_local_ns = local_ns - arrive_ns
+
+    eng = engine or Engine()
+    rounds: List[Dict] = [
+        {"count": 0, "release": Signal(eng, name=f"mgrid-release-{r}")}
+        for r in range(n_syncs)
+    ]
+
+    def gpu_proc(gid: int) -> Generator:
+        for r in range(n_syncs):
+            rnd = rounds[r]
+            yield Timeout(arrive_ns)
+            if not full_local_participation:
+                # A block inside this GPU never arrived: the local grid
+                # phase can never finish, so this GPU never reports.
+                yield Signal(eng, name=f"gpu{gid}-stuck-local")
+            rnd["count"] += 1
+            if rnd["count"] == len(ids):
+                release = rnd["release"]
+                eng.schedule(cross_ns, lambda release=release: release.fire())
+            yield rnd["release"]
+            yield Timeout(release_local_ns)
+
+    t0 = eng.now
+    for gid in sorted(callers):
+        eng.process(gpu_proc(gid), name=f"mgrid-gpu{gid}")
+    eng.run()  # DeadlockError when callers < gpu_ids or local grids hang
+
+    return MultiGridSyncResult(
+        gpu_ids=ids,
+        blocks_per_sm=blocks_per_sm,
+        threads_per_block=threads_per_block,
+        n_syncs=n_syncs,
+        total_ns=eng.now - t0,
+        local_ns=local_ns,
+        cross_ns=cross_ns,
+    )

@@ -1,0 +1,32 @@
+"""Small shared utilities: units, formatting, deterministic RNG plumbing."""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    ns_to_us,
+    us_to_ns,
+    ns_to_s,
+    s_to_ns,
+    cycles_to_ns,
+    ns_to_cycles,
+    gbps_to_bytes_per_ns,
+    bytes_per_ns_to_gbps,
+)
+from repro.util.rng import make_rng, derive_seed
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "ns_to_us",
+    "us_to_ns",
+    "ns_to_s",
+    "s_to_ns",
+    "cycles_to_ns",
+    "ns_to_cycles",
+    "gbps_to_bytes_per_ns",
+    "bytes_per_ns_to_gbps",
+    "make_rng",
+    "derive_seed",
+]

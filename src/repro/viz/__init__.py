@@ -1,0 +1,6 @@
+"""ASCII rendering of experiment artifacts (tables and heat-maps)."""
+
+from repro.viz.heatmap import render_heatmap, render_heatmap_pair
+from repro.viz.tables import format_value, render_table
+
+__all__ = ["render_table", "format_value", "render_heatmap", "render_heatmap_pair"]

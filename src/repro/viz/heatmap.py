@@ -1,0 +1,57 @@
+"""ASCII heat-maps in the layout of the paper's Figures 5/7/8."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = ["render_heatmap", "render_heatmap_pair"]
+
+_DEFAULT_BLOCKS = (1, 2, 4, 8, 16, 32)
+_DEFAULT_THREADS = (32, 64, 128, 256, 512, 1024)
+
+
+def render_heatmap(
+    cells: Dict[Tuple[int, int], float],
+    title: str = "",
+    blocks: Sequence[int] = _DEFAULT_BLOCKS,
+    threads: Sequence[int] = _DEFAULT_THREADS,
+    width: int = 7,
+) -> str:
+    """Render ``{(blocks/SM, threads/block): value}`` like the paper's
+    tables: rows = blocks/SM, columns = threads/block, blanks where the
+    configuration cannot co-reside."""
+    out = []
+    if title:
+        out.append(title)
+    header = "b\\t".rjust(5) + "".join(str(t).rjust(width) for t in threads)
+    out.append(header)
+    for b in blocks:
+        row = [str(b).rjust(5)]
+        for t in threads:
+            v = cells.get((b, t))
+            row.append(("" if v is None else f"{v:.2f}").rjust(width))
+        out.append("".join(row))
+    return "\n".join(out)
+
+
+def render_heatmap_pair(
+    measured: Dict[Tuple[int, int], float],
+    paper: Dict[Tuple[int, int], float],
+    title: str = "",
+) -> str:
+    """Measured and published heat-maps side by side with error summary."""
+    errs = [
+        abs(measured[c] - paper[c]) / paper[c]
+        for c in paper
+        if c in measured and paper[c] > 0
+    ]
+    parts = [
+        render_heatmap(measured, f"{title} - measured (us)"),
+        "",
+        render_heatmap(paper, f"{title} - paper (us)"),
+    ]
+    if errs:
+        parts.append(
+            f"relative error: mean {sum(errs)/len(errs):.1%}, max {max(errs):.1%}"
+        )
+    return "\n".join(parts)

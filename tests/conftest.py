@@ -1,0 +1,38 @@
+"""Shared fixtures: architecture specs and common tolerances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.arch import DGX1_V100, P100, P100_PCIE_NODE, V100
+
+
+@pytest.fixture(params=["V100", "P100"], ids=["V100", "P100"])
+def spec(request):
+    """Parametrized GPU spec covering both studied architectures."""
+    return V100 if request.param == "V100" else P100
+
+
+@pytest.fixture
+def v100():
+    return V100
+
+
+@pytest.fixture
+def p100():
+    return P100
+
+
+@pytest.fixture
+def dgx1():
+    return DGX1_V100
+
+
+@pytest.fixture
+def p100_node():
+    return P100_PCIE_NODE
+
+
+def rel_err(measured: float, paper: float) -> float:
+    """Relative error helper used throughout the suite."""
+    return abs(measured - paper) / abs(paper)

@@ -1,0 +1,105 @@
+"""Tests for the synchronization advisor (Table VIII as an API)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.advisor import (
+    advise_block,
+    advise_device,
+    advise_multi_gpu,
+    advise_warp,
+)
+from repro.sim.arch import DGX1_V100, P100_PCIE_NODE
+
+
+class TestWarpAdvice:
+    def test_data_exchange_recommends_shuffle(self, spec):
+        adv = advise_warp(spec, exchanging_data=True)
+        assert "shfl" in adv.recommendation
+        assert adv.estimated_cost_ns > 0
+
+    def test_pascal_gets_fence_warning(self, p100):
+        adv = advise_warp(p100)
+        assert any("does not block" in c for c in adv.caveats)
+
+    def test_volta_has_no_fence_warning(self, v100):
+        adv = advise_warp(v100)
+        assert not any("does not block" in c for c in adv.caveats)
+
+    def test_pure_barrier_recommends_tile_sync(self, spec):
+        adv = advise_warp(spec, exchanging_data=False)
+        assert "tiled_partition" in adv.recommendation
+
+    def test_race_warning_present_for_data_exchange(self, spec):
+        adv = advise_warp(spec, exchanging_data=True)
+        assert any("stale" in c for c in adv.caveats)
+
+
+class TestBlockAdvice:
+    def test_cost_scales_with_block_width(self, spec):
+        small = advise_block(spec, 64)
+        big = advise_block(spec, 1024)
+        assert big.estimated_cost_ns > small.estimated_cost_ns
+
+    def test_saturation_caveat(self, spec):
+        assert any("saturates" in c for c in advise_block(spec).caveats)
+
+
+class TestDeviceAdvice:
+    def test_single_barrier_prefers_implicit(self, spec):
+        adv = advise_device(spec, barriers_per_launch=1)
+        assert "implicit" in adv.recommendation
+
+    def test_many_barriers_prefer_persistent_kernel(self, spec):
+        adv = advise_device(spec, barriers_per_launch=100)
+        assert "grid.sync" in adv.recommendation
+
+    def test_data_reuse_forces_persistent(self, spec):
+        adv = advise_device(spec, barriers_per_launch=1, reuses_on_chip_state=True)
+        assert "grid.sync" in adv.recommendation
+
+    def test_deadlock_caveat_on_persistent(self, spec):
+        adv = advise_device(spec, barriers_per_launch=100)
+        assert any("deadlock" in c for c in adv.caveats)
+
+    def test_high_occupancy_warning(self, spec):
+        adv = advise_device(spec, blocks_per_sm=8, threads_per_block=128,
+                            barriers_per_launch=100)
+        assert any("blocks/SM" in c for c in adv.caveats)
+
+    def test_invalid_barrier_count(self, spec):
+        with pytest.raises(ValueError):
+            advise_device(spec, barriers_per_launch=0)
+
+
+class TestMultiGpuAdvice:
+    def test_programmability_prefers_multigrid(self):
+        adv = advise_multi_gpu(DGX1_V100, gpu_ids=range(4))
+        assert "multi_grid" in adv.recommendation
+
+    def test_pure_speed_prefers_cpu_side(self):
+        adv = advise_multi_gpu(
+            DGX1_V100, gpu_ids=range(8), values_programmability=False
+        )
+        assert "CPU-side" in adv.recommendation
+
+    def test_two_hop_members_flagged(self):
+        adv = advise_multi_gpu(DGX1_V100, gpu_ids=range(6))
+        assert any("two NVLink hops" in c for c in adv.caveats)
+
+    def test_one_hop_set_not_flagged(self):
+        adv = advise_multi_gpu(DGX1_V100, gpu_ids=range(4))
+        assert not any("two NVLink hops" in c for c in adv.caveats)
+
+    def test_multi_device_launch_discouraged(self):
+        adv = advise_multi_gpu(DGX1_V100, gpu_ids=range(8))
+        assert any("avoid" in a for a in adv.alternatives)
+
+    def test_pcie_node_supported(self):
+        adv = advise_multi_gpu(P100_PCIE_NODE)
+        assert adv.estimated_cost_us > 0
+
+    def test_partial_sync_warning_always_present(self):
+        adv = advise_multi_gpu(DGX1_V100)
+        assert any("deadlock" in c for c in adv.caveats)

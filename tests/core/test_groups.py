@@ -1,0 +1,160 @@
+"""Tests for the cooperative-groups API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cudasim.errors import CooperativeLaunchTooLarge, CudaError, InvalidConfiguration
+from repro.core.groups import (
+    VALID_TILE_SIZES,
+    KernelEnv,
+    coalesced_threads,
+    this_grid,
+    this_multi_grid,
+    this_thread_block,
+    tiled_partition,
+)
+from repro.sim.node import Node
+
+
+class TestKernelEnv:
+    def test_traditional_env(self, spec):
+        env = KernelEnv.traditional(spec, 2, 256)
+        assert env.warps_per_block == 8
+        assert env.warps_per_sm == 16
+        assert env.total_blocks == 2 * spec.sm_count
+
+    def test_cooperative_env_enforces_coresidency(self, spec):
+        KernelEnv.cooperative(spec, 2, 1024)  # ok
+        with pytest.raises(CooperativeLaunchTooLarge):
+            KernelEnv.cooperative(spec, 4, 1024)
+
+    def test_traditional_env_not_occupancy_gated(self, spec):
+        # A traditional launch may oversubscribe freely.
+        KernelEnv.traditional(spec, 4, 1024)
+
+    def test_unknown_launch_kind(self, spec):
+        with pytest.raises(InvalidConfiguration):
+            KernelEnv(spec, 1, 32, "graph")
+
+    def test_multi_device_requires_node(self, spec):
+        with pytest.raises(InvalidConfiguration):
+            KernelEnv(spec, 1, 32, "multi_device")
+
+    def test_multi_device_constructor(self, dgx1):
+        env = KernelEnv.multi_device(Node(dgx1, gpu_count=4), 1, 128)
+        assert env.gpu_ids == (0, 1, 2, 3)
+
+    def test_oversized_block_rejected(self, spec):
+        with pytest.raises(InvalidConfiguration):
+            KernelEnv.traditional(spec, 1, 4096)
+
+
+class TestTileGroups:
+    def test_valid_sizes_only(self, spec):
+        env = KernelEnv.traditional(spec)
+        for size in VALID_TILE_SIZES:
+            tiled_partition(env, size)
+        for bad in (3, 33, 64, 0):
+            with pytest.raises(InvalidConfiguration, match="warp"):
+                tiled_partition(env, bad)
+
+    def test_sync_latency_from_table2(self, spec):
+        env = KernelEnv.traditional(spec)
+        tile = tiled_partition(env, 32)
+        assert tile.sync_latency_cycles() == spec.warp_sync.tile_latency
+
+    def test_blocking_flag_tracks_architecture(self, v100, p100):
+        assert tiled_partition(KernelEnv.traditional(v100), 32).blocks_all_threads
+        assert not tiled_partition(KernelEnv.traditional(p100), 32).blocks_all_threads
+
+    def test_sync_yields_instruction(self, spec):
+        tile = tiled_partition(KernelEnv.traditional(spec), 16)
+        op = tile.sync()
+        assert op.kind == "tile" and op.group_size == 16
+
+    def test_shfl_down_instruction(self, spec):
+        tile = tiled_partition(KernelEnv.traditional(spec), 32)
+        op = tile.shfl_down(3.5, 8)
+        assert op.value == 3.5 and op.delta == 8 and op.kind == "tile"
+
+
+class TestCoalescedGroups:
+    def test_full_vs_partial_latency_on_volta(self, v100):
+        env = KernelEnv.traditional(v100)
+        assert coalesced_threads(env, 32).sync_latency_cycles() == 14.0
+        assert coalesced_threads(env, 16).sync_latency_cycles() == 108.0
+
+    def test_pascal_latency_flat(self, p100):
+        env = KernelEnv.traditional(p100)
+        assert coalesced_threads(env, 32).sync_latency_cycles() == 1.0
+        assert coalesced_threads(env, 7).sync_latency_cycles() == 1.0
+
+    def test_size_bounds(self, spec):
+        env = KernelEnv.traditional(spec)
+        with pytest.raises(InvalidConfiguration):
+            coalesced_threads(env, 0)
+        with pytest.raises(InvalidConfiguration):
+            coalesced_threads(env, 33)
+
+
+class TestBlockGroup:
+    def test_sync_latency_scales_with_block_width(self, spec):
+        small = this_thread_block(KernelEnv.traditional(spec, 1, 64))
+        big = this_thread_block(KernelEnv.traditional(spec, 1, 1024))
+        assert big.sync_latency_cycles() > small.sync_latency_cycles()
+        assert big.size == 1024
+
+
+class TestGridGroup:
+    def test_requires_cooperative_launch(self, spec):
+        with pytest.raises(CudaError, match="cudaLaunchCooperativeKernel"):
+            this_grid(KernelEnv.traditional(spec))
+
+    def test_latency_matches_cost_model(self, spec):
+        from repro.sim.device import grid_sync_latency_ns
+
+        env = KernelEnv.cooperative(spec, 2, 256)
+        grid = this_grid(env)
+        assert grid.sync_latency_ns() == grid_sync_latency_ns(spec, 2, 256)
+        assert grid.size == 2 * spec.sm_count * 256
+
+    def test_simulated_sync_close_to_model(self, spec):
+        env = KernelEnv.cooperative(spec, 1, 128)
+        grid = this_grid(env)
+        sim = grid.sync_simulated().latency_per_sync_ns
+        assert sim == pytest.approx(grid.sync_latency_ns(), rel=0.02)
+
+    def test_partial_sync_deadlocks(self, spec):
+        from repro.sim.engine import DeadlockError
+
+        env = KernelEnv.cooperative(spec, 1, 128)
+        with pytest.raises(DeadlockError):
+            this_grid(env).sync_simulated(participating_blocks=3)
+
+
+class TestMultiGridGroup:
+    def test_requires_multi_device_launch(self, spec):
+        with pytest.raises(CudaError, match="MultiDevice"):
+            this_multi_grid(KernelEnv.cooperative(spec, 1, 64))
+
+    def test_num_grids(self, dgx1):
+        env = KernelEnv.multi_device(Node(dgx1, gpu_count=4), 1, 64, gpu_ids=[0, 2])
+        assert this_multi_grid(env).num_grids == 2
+
+    def test_latency_includes_cross_phase(self, dgx1):
+        node = Node(dgx1, gpu_count=8)
+        one = this_multi_grid(
+            KernelEnv.multi_device(node, 1, 64, gpu_ids=[0])
+        ).sync_latency_ns()
+        six = this_multi_grid(
+            KernelEnv.multi_device(node, 1, 64, gpu_ids=range(6))
+        ).sync_latency_ns()
+        assert six - one > 15_000  # 2-hop penalty territory
+
+    def test_simulated_matches_model(self, dgx1):
+        env = KernelEnv.multi_device(Node(dgx1, gpu_count=2), 1, 128)
+        mg = this_multi_grid(env)
+        assert mg.sync_simulated().latency_per_sync_ns == pytest.approx(
+            mg.sync_latency_ns(), rel=0.02
+        )

@@ -1,0 +1,148 @@
+"""Tests for the Section VII-A performance model (Eqs 1-5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.perfmodel import (
+    WorkerConfig,
+    choose_workers,
+    completion_time_cycles,
+    little_concurrency,
+    scenario_sync_cycles,
+    switching_points,
+    table3_rows,
+    table4_rows,
+)
+from repro.experiments.paper_data import TABLE3, TABLE4
+from repro.sim.arch import P100, V100
+
+
+class TestLittlesLaw:
+    def test_eq1(self):
+        assert little_concurrency(13.0, 19.6) == pytest.approx(254.8)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            little_concurrency(0.0, 1.0)
+        with pytest.raises(ValueError):
+            little_concurrency(1.0, -1.0)
+
+    def test_worker_concurrency_property(self):
+        w = WorkerConfig("w", throughput=19.6, latency_cycles=13.0)
+        assert w.concurrency == pytest.approx(254.8)
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            WorkerConfig("bad", throughput=0.0, latency_cycles=1.0)
+
+
+class TestCompletionTime:
+    def test_below_concurrency_is_latency_only(self):
+        w = WorkerConfig("w", 10.0, 20.0)  # C = 200
+        assert completion_time_cycles(w, 100) == 20.0
+
+    def test_above_concurrency_adds_drain(self):
+        w = WorkerConfig("w", 10.0, 20.0)
+        assert completion_time_cycles(w, 300) == 20.0 + 100 / 10.0
+
+    def test_sync_cost_added(self):
+        w = WorkerConfig("w", 10.0, 20.0)
+        assert completion_time_cycles(w, 100, sync_cycles=5.0) == 25.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            completion_time_cycles(WorkerConfig("w", 1.0, 1.0), -1)
+
+
+class TestSwitchingPoints:
+    def test_table4_reproduced_from_table3_inputs(self):
+        """Feeding the paper's own Table III numbers must give Table IV."""
+        for arch in ("V100", "P100"):
+            t3 = TABLE3[arch]
+            basic = WorkerConfig("thrd", t3["1_thread"]["bandwidth"], t3["1_thread"]["latency"])
+            more = WorkerConfig("warp", t3["1_warp"]["bandwidth"], t3["1_warp"]["latency"])
+            pts = switching_points(basic, more, TABLE4[arch]["warp"]["sync_latency"])
+            assert pts.n_large == pytest.approx(TABLE4[arch]["warp"]["n_large"], rel=0.03)
+            assert pts.n_medium == pytest.approx(TABLE4[arch]["warp"]["n_medium"], rel=0.03)
+
+    def test_more_must_be_faster(self):
+        a = WorkerConfig("a", 10.0, 5.0)
+        b = WorkerConfig("b", 5.0, 5.0)
+        with pytest.raises(ValueError):
+            switching_points(a, b, 10.0)
+
+    def test_negative_sync_rejected(self):
+        a = WorkerConfig("a", 1.0, 5.0)
+        b = WorkerConfig("b", 10.0, 5.0)
+        with pytest.raises(ValueError):
+            switching_points(a, b, -1.0)
+
+    def test_prefer_basic_below_switch(self):
+        basic = WorkerConfig("basic", 0.62, 13.0)
+        more = WorkerConfig("more", 19.6, 13.0)
+        pts = switching_points(basic, more, 110.0)
+        assert pts.prefer_basic(8)
+        assert not pts.prefer_basic(10_000)
+
+    @given(
+        st.floats(0.1, 5.0),     # basic throughput
+        st.floats(6.0, 300.0),   # more throughput
+        st.floats(1.0, 50.0),    # latency
+        st.floats(0.0, 5000.0),  # sync cost
+        st.floats(0.0, 1e6),     # size
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_choose_workers_consistent_with_completion_times(
+        self, thr_b, thr_m, lat, sync, n
+    ):
+        basic = WorkerConfig("basic", thr_b, lat)
+        more = WorkerConfig("more", thr_m, lat)
+        chosen = choose_workers(basic, more, sync, n)
+        tb = completion_time_cycles(basic, n)
+        tm = completion_time_cycles(more, n, sync)
+        assert (chosen is basic) == (tb < tm)
+
+    @given(st.floats(1.0, 100.0), st.floats(0.0, 1000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_large_inputs_always_prefer_more_workers(self, lat, sync):
+        basic = WorkerConfig("basic", 1.0, lat)
+        more = WorkerConfig("more", 50.0, lat)
+        pts = switching_points(basic, more, sync)
+        big = max(pts.n_large, pts.n_medium, more.concurrency) * 10 + 1000
+        assert choose_workers(basic, more, sync, big) is more
+
+
+class TestPaperTables:
+    @pytest.mark.parametrize("arch", ["V100", "P100"])
+    def test_table3_measured(self, arch):
+        spec = V100 if arch == "V100" else P100
+        rows = table3_rows(spec)
+        for label, vals in rows.items():
+            paper = TABLE3[arch][label]
+            assert vals["bandwidth"] == pytest.approx(paper["bandwidth"], rel=0.03)
+            assert vals["concurrency"] == pytest.approx(paper["concurrency"], rel=0.03)
+
+    @pytest.mark.parametrize("arch", ["V100", "P100"])
+    def test_table4_measured(self, arch):
+        spec = V100 if arch == "V100" else P100
+        rows = table4_rows(spec)
+        for scenario, vals in rows.items():
+            paper = TABLE4[arch][scenario]
+            assert vals["sync_latency"] == pytest.approx(paper["sync_latency"], rel=0.03)
+            assert vals["n_large"] == pytest.approx(paper["n_large"], rel=0.03)
+            assert vals["n_medium"] == pytest.approx(paper["n_medium"], rel=0.03)
+
+    def test_scenario_sync_cycles(self, spec):
+        assert scenario_sync_cycles(spec, "warp") == 5 * spec.warp_sync.shuffle_tile_latency
+        with pytest.raises(ValueError):
+            scenario_sync_cycles(spec, "grid")
+
+    def test_paper_conclusions_hold(self, spec):
+        """'Better to compute 32 points with a warp; no benefit to compute
+        1024 points with 1024 threads' (Section VII-B)."""
+        rows = table4_rows(spec)
+        assert 32 * 8 > rows["warp"]["n_large"]        # 256 B > ~70 B switch
+        assert 1024 * 8 < rows["block1024"]["n_large"]  # 8 KB < switch

@@ -1,0 +1,82 @@
+"""Tests for the Section VIII pitfall analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pitfalls import (
+    partial_sync_deadlock_matrix,
+    shuffle_divergent_works,
+    warp_sync_blocking_trace,
+)
+from repro.sim.arch import DGX1_V100, P100_PCIE_NODE
+from repro.sim.node import Node
+
+
+class TestWarpBlockingTrace:
+    def test_volta_blocks_all_threads(self, v100):
+        trace = warp_sync_blocking_trace(v100)
+        assert trace.blocks_all_threads
+        assert trace.end_spread_cycles <= 2.0
+
+    def test_pascal_does_not_block(self, p100):
+        trace = warp_sync_blocking_trace(p100)
+        assert not trace.blocks_all_threads
+        # End timers track start timers (parallel staircases, Fig 18 right).
+        assert trace.end_spread_cycles == pytest.approx(
+            trace.start_spread_cycles, rel=0.05
+        )
+
+    def test_start_staircase_is_monotone(self, spec):
+        trace = warp_sync_blocking_trace(spec)
+        assert trace.start_cycles == sorted(trace.start_cycles)
+
+    def test_staircase_span_matches_fig18_scale(self, v100, p100):
+        assert warp_sync_blocking_trace(v100).start_spread_cycles == pytest.approx(
+            14_000, rel=0.1
+        )
+        assert warp_sync_blocking_trace(p100).start_spread_cycles == pytest.approx(
+            9_000, rel=0.1
+        )
+
+    def test_coalesced_kind_same_story(self, v100, p100):
+        assert warp_sync_blocking_trace(v100, kind="coalesced").blocks_all_threads
+        assert not warp_sync_blocking_trace(p100, kind="coalesced").blocks_all_threads
+
+    def test_trace_has_32_threads(self, spec):
+        trace = warp_sync_blocking_trace(spec)
+        assert len(trace.start_cycles) == len(trace.end_cycles) == 32
+
+
+class TestDivergentShuffle:
+    def test_volta_correct(self, v100):
+        assert shuffle_divergent_works(v100)
+
+    def test_pascal_incorrect(self, p100):
+        assert not shuffle_divergent_works(p100)
+
+
+class TestDeadlockMatrix:
+    @pytest.fixture(scope="class")
+    def v100_matrix(self):
+        from repro.sim.arch import V100
+
+        return partial_sync_deadlock_matrix(V100)
+
+    def test_matches_paper_matrix(self, v100_matrix):
+        assert v100_matrix.as_dict() == {
+            "warp": False,
+            "block": False,
+            "grid": True,
+            "multigrid_blocks": True,
+            "multigrid_gpus": True,
+        }
+
+    def test_p100_matrix_identical(self, p100):
+        m = partial_sync_deadlock_matrix(p100, node=Node(P100_PCIE_NODE))
+        assert m.grid_partial and m.multigrid_partial_gpus
+        assert not m.warp_partial and not m.block_partial
+
+    def test_explicit_node_accepted(self, v100):
+        m = partial_sync_deadlock_matrix(v100, node=Node(DGX1_V100, gpu_count=2))
+        assert m.multigrid_partial_gpus

@@ -1,0 +1,88 @@
+"""Tests for CUDA events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cudasim.errors import CudaError
+from repro.cudasim.events import EventApi
+from repro.cudasim.kernel import LaunchConfig, WorkKernel
+from repro.cudasim.runtime import CudaRuntime
+
+CFG = LaunchConfig(1, 32)
+
+
+def make(spec):
+    rt = CudaRuntime.single_gpu(spec, host_jitter_ns=0.0)
+    return rt, EventApi(rt)
+
+
+class TestEvents:
+    def test_elapsed_brackets_kernel_execution(self, v100):
+        rt, ev = make(v100)
+
+        def host():
+            e0 = ev.create()
+            e1 = ev.create()
+            yield from ev.record(e0)
+            yield from rt.launch(WorkKernel(1_000_000.0), CFG)
+            yield from ev.record(e1)
+            yield from ev.synchronize(e1)
+            return ev.elapsed_ms(e0, e1)
+
+        elapsed_ms = rt.run_host(host())
+        # 1 ms kernel plus launch machinery, well under 1.1 ms.
+        assert 1.0 <= elapsed_ms <= 1.1
+
+    def test_record_on_idle_stream_resolves_immediately(self, v100):
+        rt, ev = make(v100)
+
+        def host():
+            e = ev.create()
+            yield from ev.record(e)
+            yield from ev.synchronize(e)
+            return e.query
+
+        assert rt.run_host(host())
+
+    def test_synchronize_before_record_raises(self, v100):
+        rt, ev = make(v100)
+
+        def host():
+            yield from ev.synchronize(ev.create())
+
+        with pytest.raises(CudaError, match="before record"):
+            rt.run_host(host())
+
+    def test_elapsed_requires_completion(self, v100):
+        rt, ev = make(v100)
+        with pytest.raises(CudaError):
+            ev.elapsed_ms(ev.create(), ev.create())
+
+    def test_query_false_until_stream_drains(self, v100):
+        rt, ev = make(v100)
+        state = {}
+
+        def host():
+            e = ev.create()
+            yield from rt.launch(WorkKernel(100_000.0), CFG)
+            yield from ev.record(e)
+            state["early"] = e.query
+            yield from rt.device_synchronize()
+            state["late"] = e.query
+
+        rt.run_host(host())
+        assert state == {"early": False, "late": True}
+
+    def test_back_to_back_events_measure_gap_only(self, v100):
+        rt, ev = make(v100)
+
+        def host():
+            e0, e1 = ev.create(), ev.create()
+            yield from rt.launch(WorkKernel(50_000.0), CFG)
+            yield from ev.record(e0)
+            yield from ev.record(e1)
+            yield from rt.device_synchronize()
+            return ev.elapsed_ms(e0, e1)
+
+        assert rt.run_host(host()) == pytest.approx(0.0, abs=1e-6)

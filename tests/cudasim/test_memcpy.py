@@ -1,0 +1,125 @@
+"""Tests for memory-copy operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cudasim.errors import CudaError, PeerAccessError
+from repro.cudasim.memcpy import HOST_LINK_GBPS, MemcpyApi
+from repro.cudasim.runtime import CudaRuntime
+from repro.sim.arch import DGX1_V100
+
+
+def make(n_gpus=2):
+    rt = CudaRuntime.for_node(DGX1_V100, gpu_count=n_gpus, host_jitter_ns=0.0)
+    return rt, MemcpyApi(rt)
+
+
+class TestHostDevice:
+    def test_h2d_roundtrip(self):
+        rt, mc = make(1)
+        buf = rt.device(0).alloc((256,))
+        src = np.arange(256, dtype=np.float64)
+
+        def host():
+            yield from mc.to_device(buf, src)
+            yield from rt.device_synchronize()
+            rec, out = yield from mc.from_device(buf)
+            yield from rt.device_synchronize()
+            return out
+
+        out = rt.run_host(host())
+        np.testing.assert_array_equal(out, src)
+
+    def test_h2d_size_mismatch(self):
+        rt, mc = make(1)
+        buf = rt.device(0).alloc((8,))
+
+        def host():
+            yield from mc.to_device(buf, np.zeros(16))
+
+        with pytest.raises(CudaError, match="mismatch"):
+            rt.run_host(host())
+
+    def test_copy_duration_matches_link_bandwidth(self):
+        rt, mc = make(1)
+        buf = rt.device(0).alloc((1_000_000,))
+        src = np.zeros(1_000_000)
+
+        def host():
+            rec = yield from mc.to_device(buf, src)
+            yield from rt.device_synchronize()
+            return rec
+
+        rec = rt.run_host(host())
+        assert rec.exec_ns == pytest.approx(8_000_000 / HOST_LINK_GBPS)
+
+    def test_host_buffer_snapshot_semantics(self):
+        """The copy captures the host array at call time, like a real
+        synchronous-capture memcpy of pageable memory."""
+        rt, mc = make(1)
+        buf = rt.device(0).alloc((4,))
+        src = np.ones(4)
+
+        def host():
+            yield from mc.to_device(buf, src)
+            src[:] = 99.0  # mutate after enqueue
+            yield from rt.device_synchronize()
+
+        rt.run_host(host())
+        np.testing.assert_array_equal(buf.data, np.ones(4))
+
+
+class TestPeer:
+    def test_peer_copy_requires_access(self):
+        rt, mc = make(2)
+        a = rt.device(0).alloc((8,))
+        b = rt.device(1).alloc((8,))
+
+        def host():
+            yield from mc.peer(b, a)
+
+        with pytest.raises(PeerAccessError):
+            rt.run_host(host())
+
+    def test_peer_copy_moves_data(self):
+        rt, mc = make(2)
+        rt.node.enable_all_peer_access()
+        a = rt.device(0).alloc((8,))
+        a.data[:] = 7.0
+        b = rt.device(1).alloc((8,))
+
+        def host():
+            yield from mc.peer(b, a)
+            yield from rt.device_synchronize(device=0)
+
+        rt.run_host(host())
+        np.testing.assert_array_equal(b.data, a.data)
+
+    def test_peer_duration_uses_interconnect(self):
+        rt, mc = make(2)
+        rt.node.enable_all_peer_access()
+        a = rt.device(0).alloc((100_000,))
+        b = rt.device(1).alloc((100_000,))
+
+        def host():
+            rec = yield from mc.peer(b, a)
+            yield from rt.device_synchronize(device=0)
+            return rec
+
+        rec = rt.run_host(host())
+        expected = rt.node.interconnect.peer_transfer_ns(0, 1, 800_000)
+        assert rec.exec_ns == pytest.approx(expected)
+
+    def test_peer_size_mismatch(self):
+        rt, mc = make(2)
+        rt.node.enable_all_peer_access()
+        a = rt.device(0).alloc((8,))
+        b = rt.device(1).alloc((16,))
+
+        def host():
+            yield from mc.peer(b, a)
+
+        with pytest.raises(CudaError, match="mismatch"):
+            rt.run_host(host())

@@ -1,0 +1,114 @@
+"""Tests for the stream launch/dispatch pipeline model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cudasim.kernel import LaunchConfig, WorkKernel
+from repro.cudasim.stream import Stream
+from repro.sim.device import Device
+from repro.sim.engine import Engine
+
+CFG = LaunchConfig(1, 32)
+
+
+def make_stream(spec):
+    eng = Engine()
+    return eng, Stream(eng, Device(spec), index=0)
+
+
+class TestPipeline:
+    def test_first_kernel_pays_dispatch(self, v100):
+        eng, s = make_stream(v100)
+        calib = v100.launch_calib("traditional")
+        rec = s.enqueue(WorkKernel(1000.0), CFG, calib, enqueue_done_ns=0.0)
+        assert rec.start_ns == calib.dispatch_ns
+        assert rec.end_ns == calib.dispatch_ns + 1000.0
+
+    def test_long_kernels_hide_dispatch(self, v100):
+        """Back-to-back kernels longer than the pipeline pay only the gap."""
+        eng, s = make_stream(v100)
+        calib = v100.launch_calib("traditional")
+        long_ns = calib.dispatch_ns + 5000.0
+        r1 = s.enqueue(WorkKernel(long_ns), CFG, calib, 0.0)
+        r2 = s.enqueue(WorkKernel(long_ns), CFG, calib, 100.0)
+        assert r2.start_ns == pytest.approx(r1.end_ns + calib.gap_ns)
+
+    def test_short_kernels_expose_dispatch(self, v100):
+        """Null kernels cost gap + (dispatch - exec) extra — the Table I
+        'kernel total latency' mechanism."""
+        eng, s = make_stream(v100)
+        calib = v100.launch_calib("traditional")
+        eps = calib.exec_null_ns
+        r1 = s.enqueue(WorkKernel(eps), CFG, calib, 0.0)
+        r2 = s.enqueue(WorkKernel(eps), CFG, calib, 100.0)
+        gap_total = r2.start_ns - r1.end_ns
+        assert gap_total == pytest.approx(calib.gap_ns + calib.dispatch_ns - eps)
+        # And the steady-state per-kernel cost equals Table I's 8888 ns.
+        assert r2.end_ns - r1.end_ns == pytest.approx(8888.0)
+
+    def test_enqueue_after_idle_pays_dispatch_again(self, v100):
+        eng, s = make_stream(v100)
+        calib = v100.launch_calib("traditional")
+        r1 = s.enqueue(WorkKernel(100.0), CFG, calib, 0.0)
+        late = r1.end_ns + 50_000.0
+        r2 = s.enqueue(WorkKernel(100.0), CFG, calib, late)
+        assert r2.start_ns >= late + calib.dispatch_ns
+
+    def test_start_override_for_multi_device(self, v100):
+        eng, s = make_stream(v100)
+        calib = v100.launch_calib("multi_device")
+        own = s.earliest_start(0.0, calib, n_gpus=2)
+        rec = s.enqueue(
+            WorkKernel(10.0), CFG, calib, 0.0, n_gpus=2, start_override_ns=own + 500.0
+        )
+        assert rec.start_ns == own + 500.0
+
+    def test_start_override_cannot_precede_constraint(self, v100):
+        eng, s = make_stream(v100)
+        calib = v100.launch_calib("traditional")
+        with pytest.raises(ValueError):
+            s.enqueue(WorkKernel(10.0), CFG, calib, 0.0, start_override_ns=1.0)
+
+    def test_completion_fires_at_end_time(self, v100):
+        eng, s = make_stream(v100)
+        calib = v100.launch_calib("traditional")
+        rec = s.enqueue(WorkKernel(777.0), CFG, calib, 0.0)
+        assert not rec.completion.fired
+        eng.run()
+        assert rec.completion.fired
+        assert eng.now == rec.end_ns
+
+    def test_body_applied_at_completion(self, v100):
+        eng, s = make_stream(v100)
+        calib = v100.launch_calib("traditional")
+        hits = []
+        s.enqueue(
+            WorkKernel(10.0, body=lambda d, c: hits.append(eng.now)), CFG, calib, 0.0
+        )
+        eng.run()
+        assert hits == [eng.now]
+
+    def test_pending_tracks_unfinished(self, v100):
+        eng, s = make_stream(v100)
+        calib = v100.launch_calib("traditional")
+        s.enqueue(WorkKernel(10.0), CFG, calib, 0.0)
+        s.enqueue(WorkKernel(10.0), CFG, calib, 0.0)
+        assert len(s.pending) == 2
+        eng.run()
+        assert s.pending == []
+
+    def test_records_accumulate(self, v100):
+        eng, s = make_stream(v100)
+        calib = v100.launch_calib("traditional")
+        for _ in range(3):
+            s.enqueue(WorkKernel(10.0), CFG, calib, 0.0)
+        assert [r.kernel_name for r in s.records] == ["work"] * 3
+
+    def test_multi_gpu_gap_applies(self, v100):
+        eng, s = make_stream(v100)
+        calib = v100.launch_calib("multi_device")
+        long_ns = calib.dispatch_for(8) + 1000.0
+        r1 = s.enqueue(WorkKernel(long_ns), CFG, calib, 0.0, n_gpus=8)
+        r2 = s.enqueue(WorkKernel(long_ns), CFG, calib, 1.0, n_gpus=8)
+        assert r2.start_ns - r1.end_ns == pytest.approx(calib.gap_for(8))

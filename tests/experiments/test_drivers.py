@@ -1,0 +1,83 @@
+"""End-to-end checks on the heavier experiment drivers.
+
+These run the full sweeps once each and assert the paper's qualitative
+claims plus quantitative error bounds — the acceptance criteria from
+DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.exp_launch import run_fig9
+from repro.experiments.exp_model import run_table3, run_validation
+from repro.experiments.exp_reduction import run_fig15, run_fig16, run_table6
+from repro.experiments.exp_sync import run_fig4, run_fig5, run_fig7, run_fig8, run_table2
+from repro.experiments.summary import run_summary
+
+
+class TestSyncDrivers:
+    def test_table2_quality(self):
+        rep = run_table2()
+        assert rep.mean_rel_err < 0.05
+
+    def test_fig4_saturation(self):
+        rep = run_fig4()
+        assert rep.mean_rel_err < 0.05
+
+    def test_fig5_quality(self):
+        rep = run_fig5()
+        assert rep.mean_rel_err < 0.10
+        assert any("blocks/SM" in n for n in rep.notes)
+
+    def test_fig7_quality(self):
+        rep = run_fig7()
+        assert rep.mean_rel_err < 0.10
+
+    def test_fig8_quality(self):
+        rep = run_fig8()
+        assert rep.mean_rel_err < 0.10
+        assert any("plateau" in n or "hop" in n for n in rep.notes)
+
+
+class TestLaunchDrivers:
+    def test_fig9_anchors_and_claims(self):
+        rep = run_fig9(gpu_counts=(1, 2, 5, 6, 8))
+        assert rep.mean_rel_err < 0.08
+        # The two qualitative claims recorded in the notes must both hold.
+        assert any("True" in n for n in rep.notes)
+        assert not any("False" in n for n in rep.notes)
+
+
+class TestModelDrivers:
+    def test_table3_quality(self):
+        assert run_table3().mean_rel_err < 0.03
+
+    def test_validation_cross_checks(self):
+        rep = run_validation()
+        assert rep.mean_rel_err is not None
+        for row in rep.rows:
+            if "fadd" in row.label:
+                assert abs(row.rel_err) < 0.10
+
+
+class TestReductionDrivers:
+    def test_fig15_claims(self):
+        rep = run_fig15()
+        bool_rows = [r for r in rep.rows if r.unit == "bool"]
+        assert bool_rows and all(r.measured == 1.0 for r in bool_rows)
+
+    def test_table6_quality(self):
+        assert run_table6().mean_rel_err < 0.03
+
+    def test_fig16_claims(self):
+        rep = run_fig16()
+        bool_rows = [r for r in rep.rows if r.unit == "bool"]
+        assert all(r.measured == 1.0 for r in bool_rows)
+
+
+class TestSummary:
+    def test_every_table8_observation_passes(self):
+        rep = run_summary()
+        failing = [r.label for r in rep.rows if r.measured != 1.0]
+        assert not failing, failing

@@ -1,0 +1,82 @@
+"""Integrity checks on the transcribed paper data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.paper_data import (
+    FADD_LATENCY_CYCLES,
+    FIG5_GRID_SYNC_US,
+    FIG7_MULTIGRID_P100_US,
+    FIG8_MULTIGRID_V100_US,
+    TABLE1_NS,
+    TABLE2,
+    TABLE3,
+    TABLE4,
+    TABLE5_CYCLES,
+    TABLE6_GBPS,
+)
+
+
+class TestHeatmapsWellFormed:
+    @pytest.mark.parametrize("table", [FIG5_GRID_SYNC_US["V100"], FIG5_GRID_SYNC_US["P100"]])
+    def test_fig5_cells_obey_occupancy(self, table):
+        for (b, t) in table:
+            assert b * t <= 2048, "published cells always co-reside"
+
+    def test_fig8_panels_share_cell_grid(self):
+        grids = [set(panel) for panel in FIG8_MULTIGRID_V100_US.values()]
+        assert all(g == grids[0] for g in grids)
+
+    def test_fig7_panels_share_cell_grid(self):
+        grids = [set(panel) for panel in FIG7_MULTIGRID_P100_US.values()]
+        assert all(g == grids[0] for g in grids)
+
+    def test_multigrid_latency_grows_with_gpus_at_small_config(self):
+        cell = (1, 32)
+        vals = [FIG8_MULTIGRID_V100_US[n][cell] for n in (1, 2, 5, 6, 8)]
+        assert vals == sorted(vals)
+
+    def test_all_latencies_positive(self):
+        for panel in (*FIG8_MULTIGRID_V100_US.values(), *FIG7_MULTIGRID_P100_US.values()):
+            assert all(v > 0 for v in panel.values())
+
+
+class TestTableConsistency:
+    def test_table1_total_exceeds_overhead(self):
+        for row in TABLE1_NS.values():
+            assert row["kernel_total_latency"] > row["launch_overhead"]
+
+    def test_table2_rows_match_across_archs(self):
+        assert set(TABLE2["V100"]) == set(TABLE2["P100"])
+
+    def test_table3_concurrency_is_littles_law(self):
+        for arch in TABLE3:
+            for row in TABLE3[arch].values():
+                assert row["concurrency"] == pytest.approx(
+                    row["bandwidth"] * row["latency"], rel=0.05
+                )
+
+    def test_table4_consistent_with_eq5(self):
+        """The paper's own switching points follow Eq 5 from Table III."""
+        for arch in TABLE4:
+            t3 = TABLE3[arch]
+            sync = TABLE4[arch]["warp"]["sync_latency"]
+            thr_b = t3["1_thread"]["bandwidth"]
+            thr_m = t3["1_warp"]["bandwidth"]
+            nl = sync * thr_m * thr_b / (thr_m - thr_b)
+            assert nl == pytest.approx(TABLE4[arch]["warp"]["n_large"], rel=0.03)
+
+    def test_table5_nosync_fastest(self):
+        for arch in TABLE5_CYCLES:
+            rows = TABLE5_CYCLES[arch]
+            assert min(rows, key=rows.get) == "nosync"
+
+    def test_table6_theory_is_upper_bound(self):
+        for arch in TABLE6_GBPS:
+            theory = TABLE6_GBPS[arch]["theory"]
+            for k, v in TABLE6_GBPS[arch].items():
+                assert v <= theory
+
+    def test_fadd_reference(self):
+        assert FADD_LATENCY_CYCLES == {"V100": 4.0, "P100": 6.0}

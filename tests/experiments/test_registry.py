@@ -1,0 +1,78 @@
+"""Tests for the experiment registry, report machinery, and CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ComparisonRow, ExperimentReport
+from repro.experiments.cli import main
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class TestReport:
+    def test_rel_err(self):
+        row = ComparisonRow("x", paper=100.0, measured=110.0)
+        assert row.rel_err == pytest.approx(0.10)
+
+    def test_rel_err_none_cases(self):
+        assert ComparisonRow("x", None, 1.0).rel_err is None
+        assert ComparisonRow("x", 0.0, 1.0).rel_err is None
+
+    def test_summary_statistics(self):
+        rep = ExperimentReport("id", "t")
+        rep.add("a", 100.0, 110.0)
+        rep.add("b", 100.0, 90.0)
+        assert rep.mean_rel_err == pytest.approx(0.10)
+        assert rep.max_rel_err == pytest.approx(0.10)
+
+    def test_render_contains_rows_and_notes(self):
+        rep = ExperimentReport("id", "Title")
+        rep.add("metric", 1.0, 1.1, "us", note="hello")
+        rep.notes.append("a note")
+        rep.add_artifact("ARTIFACT")
+        out = rep.render()
+        for token in ("Title", "metric", "hello", "a note", "ARTIFACT", "+10.0%"):
+            assert token in out
+
+
+class TestRegistry:
+    def test_covers_every_paper_artifact(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "table5", "table6", "table8",
+            "fig4", "fig5", "fig7", "fig8", "fig9", "fig15", "fig16", "fig18",
+            "deadlock", "validation",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig999")
+
+    @pytest.mark.parametrize("exp_id", ["table1", "table4", "table5", "fig18", "deadlock"])
+    def test_fast_experiments_produce_clean_reports(self, exp_id):
+        rep = run_experiment(exp_id)
+        assert rep.exp_id == exp_id
+        assert rep.rows
+        assert rep.render()
+
+    def test_reproduction_quality_gate(self):
+        """Headline experiments must land within 10% mean error."""
+        for exp_id in ("table1", "table4", "table5"):
+            rep = run_experiment(exp_id)
+            assert rep.mean_rel_err is not None and rep.mean_rel_err < 0.10, exp_id
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig16" in out
+
+    def test_run_single(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "sum 32 doubles" in out
+
+    def test_unknown_id_exit_code(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

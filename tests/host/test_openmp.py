@@ -1,0 +1,91 @@
+"""Tests for the OpenMP-style host thread team."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cudasim.runtime import CudaRuntime
+from repro.host.openmp import OmpTeam
+from repro.sim.arch import DGX1_V100
+from repro.sim.engine import DeadlockError, Timeout
+
+
+def make_team(n):
+    rt = CudaRuntime.for_node(DGX1_V100, gpu_count=max(n, 1))
+    return rt, OmpTeam(rt, n_threads=n)
+
+
+class TestBarrier:
+    def test_all_threads_meet(self):
+        rt, team = make_team(4)
+        releases = []
+
+        def worker(tid):
+            yield Timeout(tid * 100.0)  # staggered arrivals
+            yield from team.barrier(tid)
+            releases.append(rt.engine.now)
+
+        team.run(worker)
+        assert len(set(releases)) == 1
+        assert releases[0] >= 300.0 + team.barrier_cost_ns
+
+    def test_barrier_cost_from_node_calibration(self):
+        rt, team = make_team(8)
+        assert team.barrier_cost_ns == DGX1_V100.omp_barrier_ns(8)
+
+    def test_multiple_rounds(self):
+        rt, team = make_team(3)
+        counts = []
+
+        def worker(tid):
+            for _ in range(4):
+                yield from team.barrier(tid)
+            counts.append(tid)
+
+        team.run(worker)
+        assert sorted(counts) == [0, 1, 2]
+        assert team.barriers_passed == 4
+
+    def test_mismatched_barrier_counts_deadlock(self):
+        rt, team = make_team(2)
+
+        def worker(tid):
+            yield from team.barrier(tid)
+            if tid == 0:
+                yield from team.barrier(tid)  # partner never arrives
+
+        with pytest.raises(DeadlockError):
+            team.run(worker)
+
+    def test_invalid_tid_rejected(self):
+        rt, team = make_team(2)
+
+        def worker(tid):
+            yield from team.barrier(5)
+
+        with pytest.raises(ValueError):
+            team.run(worker)
+
+    def test_single_thread_barrier_is_cheap(self):
+        rt, team = make_team(1)
+
+        def worker(tid):
+            yield from team.barrier(tid)
+            return rt.engine.now
+
+        [t] = team.run(worker)
+        assert t == pytest.approx(team.barrier_cost_ns)
+
+    def test_empty_team_rejected(self):
+        rt = CudaRuntime.for_node(DGX1_V100, gpu_count=1)
+        with pytest.raises(ValueError):
+            OmpTeam(rt, n_threads=0)
+
+    def test_run_collects_results(self):
+        rt, team = make_team(3)
+
+        def worker(tid):
+            yield Timeout(1.0)
+            return tid * 10
+
+        assert team.run(worker) == [0, 10, 20]

@@ -1,0 +1,67 @@
+"""Tests for the measurement harness."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.microbench.harness import Measurement, MeasurementConfig, collect
+
+
+class TestMeasurementConfig:
+    def test_defaults(self):
+        cfg = MeasurementConfig()
+        assert cfg.warmup == 1 and cfg.samples == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementConfig(warmup=-1)
+        with pytest.raises(ValueError):
+            MeasurementConfig(samples=0)
+
+
+class TestMeasurement:
+    def test_mean_std(self):
+        m = Measurement(values=(1.0, 2.0, 3.0))
+        assert m.mean == 2.0
+        assert m.std == pytest.approx(1.0)
+        assert m.min == 1.0 and m.max == 3.0
+        assert m.n == 3
+
+    def test_single_sample_zero_std(self):
+        m = Measurement(values=(5.0,))
+        assert m.std == 0.0
+        assert m.sem == 0.0
+
+    def test_sem(self):
+        m = Measurement(values=(1.0, 2.0, 3.0, 4.0))
+        assert m.sem == pytest.approx(m.std / 2.0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_stats_match_reference(self, values):
+        import numpy as np
+
+        m = Measurement(values=tuple(values))
+        assert m.mean == pytest.approx(float(np.mean(values)), abs=1e-6, rel=1e-9)
+        assert m.std == pytest.approx(float(np.std(values, ddof=1)), abs=1e-6, rel=1e-9)
+
+
+class TestCollect:
+    def test_warmup_discarded(self):
+        calls = []
+
+        def sample():
+            calls.append(len(calls))
+            return float(len(calls))
+
+        m = collect(sample, MeasurementConfig(warmup=2, samples=3))
+        assert len(calls) == 5
+        assert m.values == (3.0, 4.0, 5.0)
+
+    def test_no_warmup(self):
+        m = collect(lambda: 7.0, MeasurementConfig(warmup=0, samples=2))
+        assert m.values == (7.0, 7.0)

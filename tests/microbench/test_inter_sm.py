@@ -1,0 +1,60 @@
+"""Tests for the inter-SM CPU-clock measurement method (Section IX-D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.microbench.harness import MeasurementConfig
+from repro.microbench.inter_sm import (
+    measure_instruction_latency_inter_sm,
+    measure_kernel_total_latency_host,
+    verify_sync_repeat_invariance,
+)
+from repro.microbench.intra_sm import measure_instruction_latency_wong
+
+FAST = MeasurementConfig(warmup=1, samples=8)
+
+
+class TestInterSMMethod:
+    def test_fadd_matches_wong_cross_validation(self, spec):
+        """The paper's validation: both methods agree on float-add."""
+        wong = measure_instruction_latency_wong(spec, "fadd")
+        inter = measure_instruction_latency_inter_sm(spec, "fadd", config=FAST)
+        assert inter.latency_cycles(spec.freq_mhz) == pytest.approx(wong, rel=0.15)
+
+    def test_sigma_shrinks_with_repeat_gap(self, v100):
+        narrow = measure_instruction_latency_inter_sm(
+            v100, "fadd", r1=600, r2=500, config=FAST
+        )
+        wide = measure_instruction_latency_inter_sm(
+            v100, "fadd", r1=4096, r2=256, config=FAST, seed=5
+        )
+        assert wide.sigma_ns < narrow.sigma_ns
+
+    def test_single_kernel_measurement_is_noisy(self, v100):
+        m = measure_kernel_total_latency_host(
+            v100, lambda r: 1000.0 * r, 4, config=FAST
+        )
+        assert m.std > 0.0  # host clock jitter is real
+
+    def test_equal_repeats_rejected(self, v100):
+        with pytest.raises(ValueError):
+            measure_instruction_latency_inter_sm(v100, "fadd", r1=100, r2=100)
+
+    def test_unknown_instruction_rejected(self, v100):
+        with pytest.raises(ValueError):
+            measure_instruction_latency_inter_sm(v100, "fma")
+
+
+class TestRepeatInvariance:
+    def test_grid_sync_invariant(self, v100):
+        r = verify_sync_repeat_invariance(v100, "grid", config=FAST)
+        assert r["relative_spread"] < 0.05
+
+    def test_block_sync_invariant(self, v100):
+        r = verify_sync_repeat_invariance(v100, "block", config=FAST)
+        assert r["relative_spread"] < 0.05
+
+    def test_unknown_level_rejected(self, v100):
+        with pytest.raises(ValueError):
+            verify_sync_repeat_invariance(v100, "warp")

@@ -1,0 +1,78 @@
+"""Tests for Wong-style intra-SM micro-benchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.paper_data import TABLE3
+from repro.microbench.intra_sm import (
+    measure_instruction_latency_wong,
+    measure_shared_bandwidth,
+)
+
+
+class TestWongMethod:
+    def test_fadd_latency_v100(self, v100):
+        assert measure_instruction_latency_wong(v100, "fadd") == pytest.approx(4.0, abs=0.1)
+
+    def test_fadd_latency_p100(self, p100):
+        assert measure_instruction_latency_wong(p100, "fadd") == pytest.approx(6.0, abs=0.1)
+
+    def test_dadd_latency(self, spec):
+        expected = spec.instructions.dadd
+        assert measure_instruction_latency_wong(spec, "dadd") == pytest.approx(
+            expected, abs=0.1
+        )
+
+    def test_chain_latency_is_table3_latency(self, spec):
+        expected = TABLE3[spec.name]["1_thread"]["latency"]
+        assert measure_instruction_latency_wong(spec, "chain") == pytest.approx(
+            expected, abs=0.2
+        )
+
+    def test_latency_independent_of_repeats(self, v100):
+        a = measure_instruction_latency_wong(v100, "fadd", repeats=128)
+        b = measure_instruction_latency_wong(v100, "fadd", repeats=2048)
+        assert a == pytest.approx(b, abs=0.1)
+
+    def test_unknown_instruction_rejected(self, v100):
+        with pytest.raises(ValueError, match="unknown instruction"):
+            measure_instruction_latency_wong(v100, "fma")
+
+    def test_invalid_repeats(self, v100):
+        with pytest.raises(ValueError):
+            measure_instruction_latency_wong(v100, "fadd", repeats=0)
+
+
+class TestSharedBandwidth:
+    @pytest.mark.parametrize("label,n", [
+        ("1_thread", 1), ("1_warp", 32), ("32_threads", 32), ("1024_threads", 1024),
+    ])
+    def test_table3_bandwidths(self, spec, label, n):
+        r = measure_shared_bandwidth(spec, n)
+        assert r.bandwidth_bytes_per_cycle == pytest.approx(
+            TABLE3[spec.name][label]["bandwidth"], rel=0.03
+        )
+
+    def test_concurrency_via_littles_law(self, spec):
+        r = measure_shared_bandwidth(spec, 32)
+        assert r.concurrency_bytes == pytest.approx(
+            TABLE3[spec.name]["1_warp"]["concurrency"], rel=0.03
+        )
+
+    def test_bandwidth_monotone_in_threads(self, spec):
+        bws = [
+            measure_shared_bandwidth(spec, n).bandwidth_bytes_per_cycle
+            for n in (1, 32, 128, 512, 1024)
+        ]
+        assert all(a <= b * 1.01 for a, b in zip(bws, bws[1:]))
+
+    def test_port_cap_binds_at_high_thread_counts(self, spec):
+        r = measure_shared_bandwidth(spec, 1024)
+        assert r.bandwidth_bytes_per_cycle <= spec.shared_mem.sm_cap_bytes_per_cycle * 1.001
+
+    def test_invalid_thread_count(self, spec):
+        with pytest.raises(ValueError):
+            measure_shared_bandwidth(spec, 0)
+        with pytest.raises(ValueError):
+            measure_shared_bandwidth(spec, 4096)

@@ -1,0 +1,72 @@
+"""Tests for the Eq 7/8 error model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.microbench.harness import Measurement
+from repro.microbench.stats import (
+    derive_instruction_latency,
+    propagated_sigma,
+)
+
+
+class TestPropagatedSigma:
+    def test_eq8_formula(self):
+        assert propagated_sigma(3.0, 4.0, 1024, 512) == pytest.approx(5.0 / 512)
+
+    def test_equal_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            propagated_sigma(1.0, 1.0, 100, 100)
+
+    @given(
+        st.floats(0.0, 1e4),
+        st.floats(0.0, 1e4),
+        st.integers(1, 10_000),
+        st.integers(1, 10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sigma_shrinks_with_repeat_gap(self, s1, s2, r1, r2):
+        if r1 == r2:
+            return
+        sigma = propagated_sigma(s1, s2, r1, r2)
+        wider = propagated_sigma(s1, s2, max(r1, r2) * 10, min(r1, r2))
+        assert wider <= sigma + 1e-12
+
+    def test_symmetric_in_order(self):
+        assert propagated_sigma(2.0, 3.0, 100, 400) == propagated_sigma(
+            2.0, 3.0, 400, 100
+        )
+
+
+class TestDeriveLatency:
+    def test_eq7_mean(self):
+        m1 = Measurement(values=(10_000.0, 10_000.0))
+        m2 = Measurement(values=(6_000.0, 6_000.0))
+        d = derive_instruction_latency(m1, 1000, m2, 200)
+        assert d.latency_ns == pytest.approx(5.0)
+        assert d.sigma_ns == 0.0
+
+    def test_cycles_conversion(self):
+        m1 = Measurement(values=(2000.0,))
+        m2 = Measurement(values=(1000.0,))
+        d = derive_instruction_latency(m1, 200, m2, 100)
+        # 10 ns at 1000 MHz = 10 cycles.
+        assert d.latency_cycles(1000.0) == pytest.approx(10.0)
+
+    def test_equal_repeats_rejected(self):
+        m = Measurement(values=(1.0,))
+        with pytest.raises(ValueError):
+            derive_instruction_latency(m, 5, m, 5)
+
+    def test_noisy_measurements_propagate(self):
+        m1 = Measurement(values=(100.0, 110.0, 90.0))
+        m2 = Measurement(values=(50.0, 55.0, 45.0))
+        d = derive_instruction_latency(m1, 100, m2, 50)
+        assert d.sigma_ns == pytest.approx(
+            math.sqrt(m1.std**2 + m2.std**2) / 50
+        )

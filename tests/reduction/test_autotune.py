@@ -1,0 +1,54 @@
+"""Tests for the model-driven reduction tuner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reduction.autotune import choose_block_width, choose_warp_or_thread, recommend
+from repro.util.units import MB
+
+
+class TestScenarioChoices:
+    def test_tiny_inputs_prefer_single_thread(self, spec):
+        assert choose_warp_or_thread(spec, 16) == "thread"
+
+    def test_32_doubles_prefer_warp(self, spec):
+        """Table IV: 'it is better to compute 32 data points with a warp'."""
+        assert choose_warp_or_thread(spec, 32 * 8) == "warp"
+
+    def test_1024_doubles_prefer_narrow_block(self, spec):
+        """Table IV: 'no benefit to compute 1024 data points with 1024
+        threads per block'."""
+        assert choose_block_width(spec, 1024 * 8) == "block32"
+
+    def test_large_inputs_prefer_wide_block(self, spec):
+        assert choose_block_width(spec, 512 * 1024) == "block1024"
+
+    def test_switch_point_between_architectures_differs(self, v100, p100):
+        # P100's heavier block sync pushes its switch point ~3.5x higher.
+        size = 16 * 1024  # between the V100 (~8.5 KB) and P100 (~33 KB) switches
+        assert choose_block_width(v100, size) == "block1024"
+        assert choose_block_width(p100, size) == "block32"
+
+
+class TestRecommend:
+    def test_scope_progression_with_size(self, spec):
+        # 40 KB sits above both architectures' block1024 switch points
+        # (~8.5 KB V100, ~33 KB P100) yet inside both shared memories.
+        scopes = [recommend(spec, s).scope for s in (8, 300, 40 * 1024, 4 * MB)]
+        assert scopes == ["thread", "warp", "block", "device"]
+
+    def test_device_scope_prefers_implicit(self, spec):
+        plan = recommend(spec, 100 * MB)
+        assert plan.device_method == "implicit"
+        assert "Fig 15" in plan.rationale
+
+    def test_sub_device_scopes_have_no_device_method(self, spec):
+        assert recommend(spec, 64).device_method is None
+
+    def test_invalid_size_rejected(self, spec):
+        with pytest.raises(ValueError):
+            recommend(spec, 0)
+
+    def test_plan_carries_size(self, spec):
+        assert recommend(spec, 1234).size_bytes == 1234

@@ -1,0 +1,70 @@
+"""Tests for the block-level reduction (Fig 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reduction.block import block_reduce_cycles, block_reduce_value
+
+
+class TestFunctional:
+    def test_exact_sum_small(self):
+        vals = np.arange(100, dtype=float)
+        assert block_reduce_value(vals, threads=64) == pytest.approx(vals.sum())
+
+    def test_exact_sum_fewer_elements_than_threads(self):
+        vals = np.array([1.0, 2.0, 3.0])
+        assert block_reduce_value(vals, threads=1024) == pytest.approx(6.0)
+
+    def test_minimum_one_warp(self):
+        with pytest.raises(ValueError):
+            block_reduce_value(np.ones(4), threads=16)
+
+    @given(
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=400),
+        st.sampled_from([32, 128, 256, 1024]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy_for_any_input(self, vals, threads):
+        arr = np.array(vals)
+        assert np.isclose(
+            block_reduce_value(arr, threads=threads), arr.sum(), rtol=1e-9, atol=1e-6
+        )
+
+
+class TestCostModel:
+    def test_cost_components_positive(self, spec):
+        cost = block_reduce_cycles(spec, 2048, threads=1024)
+        assert cost.stride_cycles > 0
+        assert cost.sync_cycles > 0
+        assert cost.warp_phase_cycles > 0
+        assert cost.total_cycles == pytest.approx(
+            cost.stride_cycles + cost.sync_cycles + cost.warp_phase_cycles
+        )
+
+    def test_cost_grows_with_elements(self, spec):
+        small = block_reduce_cycles(spec, 1024, 1024).total_cycles
+        large = block_reduce_cycles(spec, 64 * 1024, 1024).total_cycles
+        assert large > small
+
+    def test_port_bound_at_large_sizes(self, spec):
+        n = 1_000_000
+        cost = block_reduce_cycles(spec, n, 1024)
+        port_cycles = n * 8 / spec.shared_mem.sm_cap_bytes_per_cycle
+        assert cost.stride_cycles == pytest.approx(port_cycles, rel=0.01)
+
+    def test_sync_term_uses_block_width(self, spec):
+        narrow = block_reduce_cycles(spec, 4096, threads=64)
+        wide = block_reduce_cycles(spec, 4096, threads=1024)
+        assert wide.sync_cycles > narrow.sync_cycles
+
+    def test_invalid_arguments(self, spec):
+        with pytest.raises(ValueError):
+            block_reduce_cycles(spec, 0)
+        with pytest.raises(ValueError):
+            block_reduce_cycles(spec, 100, threads=16)
+        with pytest.raises(ValueError):
+            block_reduce_cycles(spec, 100, threads=2048)

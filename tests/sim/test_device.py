@@ -1,0 +1,102 @@
+"""Tests for the device model and grid-barrier protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.paper_data import FIG5_GRID_SYNC_US
+from repro.sim.device import Device, grid_sync_latency_ns, simulate_grid_sync
+from repro.sim.engine import DeadlockError
+
+
+class TestGridSyncClosedForm:
+    def test_matches_simulation(self, spec):
+        for b, t in ((1, 32), (2, 256), (8, 64)):
+            cf = grid_sync_latency_ns(spec, b, t)
+            sim = simulate_grid_sync(spec, b, t).latency_per_sync_ns
+            assert sim == pytest.approx(cf, rel=0.01)
+
+    def test_rejects_non_coresident_grid(self, spec):
+        with pytest.raises(ValueError, match="co-resident"):
+            grid_sync_latency_ns(spec, 4, 1024)
+
+    def test_latency_tracks_blocks_more_than_threads(self, spec):
+        # Paper: "more related to the grid dimension than the block dim".
+        base = grid_sync_latency_ns(spec, 1, 32)
+        more_blocks = grid_sync_latency_ns(spec, 8, 32)
+        more_threads = grid_sync_latency_ns(spec, 1, 256)
+        assert (more_blocks - base) > 4 * (more_threads - base)
+
+
+class TestGridSyncSimulation:
+    def test_full_heatmap_within_tolerance(self, spec):
+        errs = []
+        for (b, t), paper in FIG5_GRID_SYNC_US[spec.name].items():
+            sim = simulate_grid_sync(spec, b, t).latency_per_sync_us
+            errs.append(abs(sim - paper) / paper)
+        assert float(np.mean(errs)) < 0.08
+        assert float(np.max(errs)) < 0.20
+
+    def test_repeated_syncs_amortize_consistently(self, spec):
+        one = simulate_grid_sync(spec, 2, 128, n_syncs=1).latency_per_sync_ns
+        many = simulate_grid_sync(spec, 2, 128, n_syncs=5).latency_per_sync_ns
+        assert many == pytest.approx(one, rel=0.05)
+
+    def test_partial_participation_deadlocks(self, spec):
+        with pytest.raises(DeadlockError):
+            simulate_grid_sync(
+                spec, 1, 64, participating_blocks=spec.sm_count - 1
+            )
+
+    def test_single_missing_block_deadlocks(self, spec):
+        with pytest.raises(DeadlockError):
+            simulate_grid_sync(
+                spec, 2, 64, participating_blocks=2 * spec.sm_count - 1
+            )
+
+    def test_full_participation_completes(self, spec):
+        r = simulate_grid_sync(spec, 1, 64, participating_blocks=spec.sm_count)
+        assert r.total_ns > 0
+
+    def test_invalid_participation_rejected(self, spec):
+        with pytest.raises(ValueError):
+            simulate_grid_sync(spec, 1, 64, participating_blocks=0)
+        with pytest.raises(ValueError):
+            simulate_grid_sync(spec, 1, 64, participating_blocks=10**6)
+
+    def test_oversized_cooperative_grid_rejected(self, spec):
+        with pytest.raises(ValueError, match="co-reside"):
+            simulate_grid_sync(spec, 3, 1024)
+
+    def test_sm_count_override_scales_blocks(self, spec):
+        small = simulate_grid_sync(spec, 1, 32, sm_count=4)
+        assert small.total_blocks == 4
+        full = simulate_grid_sync(spec, 1, 32)
+        assert small.latency_per_sync_ns < full.latency_per_sync_ns
+
+    def test_result_metadata(self, spec):
+        r = simulate_grid_sync(spec, 2, 128)
+        assert r.total_blocks == 2 * spec.sm_count
+        assert r.warps_per_sm == 8
+        assert r.latency_per_sync_us == pytest.approx(r.latency_per_sync_ns / 1e3)
+
+
+class TestDevice:
+    def test_alloc_and_free(self, v100):
+        dev = Device(v100, index=0)
+        buf = dev.alloc((128,), name="x")
+        assert "x" in dev.buffers
+        dev.free(buf)
+        assert "x" not in dev.buffers
+
+    def test_peer_access_gating(self, v100):
+        d0, d1 = Device(v100, 0), Device(v100, 1)
+        remote = d1.alloc((4,))
+        assert not d0.can_access(remote)
+        d0.enable_peer_access(1)
+        assert d0.can_access(remote)
+
+    def test_own_buffers_always_accessible(self, v100):
+        dev = Device(v100, 0)
+        assert dev.can_access(dev.alloc((4,)))

@@ -1,0 +1,430 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import (
+    AllOf,
+    DeadlockError,
+    Engine,
+    Resource,
+    Signal,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_schedule_runs_in_time_order(self):
+        eng = Engine()
+        order = []
+        eng.schedule(5.0, lambda: order.append("b"))
+        eng.schedule(1.0, lambda: order.append("a"))
+        eng.schedule(9.0, lambda: order.append("c"))
+        eng.run()
+        assert order == ["a", "b", "c"]
+        assert eng.now == 9.0
+
+    def test_equal_times_run_fifo(self):
+        eng = Engine()
+        order = []
+        for i in range(10):
+            eng.schedule(3.0, lambda i=i: order.append(i))
+        eng.run()
+        assert order == list(range(10))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_run_until_stops_early(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(1.0, lambda: hits.append(1))
+        eng.schedule(100.0, lambda: hits.append(2))
+        eng.run(until=10.0)
+        assert hits == [1]
+        assert eng.now == 10.0
+
+    def test_run_until_leaves_future_event_pending(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(100.0, lambda: hits.append(2))
+        eng.run(until=10.0)
+        eng.run()
+        assert hits == [2]
+        assert eng.now == 100.0
+
+    def test_event_count_increments(self):
+        eng = Engine()
+        for _ in range(7):
+            eng.schedule(1.0, lambda: None)
+        eng.run()
+        assert eng.event_count == 7
+
+    def test_trace_log(self):
+        eng = Engine(trace=True)
+        eng.schedule(2.0, lambda: None)
+        eng.run()
+        assert len(eng.trace_log) == 1
+        assert eng.trace_log[0][0] == 2.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_events_always_execute_in_nondecreasing_time(self, delays):
+        eng = Engine()
+        seen = []
+        for d in delays:
+            eng.schedule(d, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)
+
+
+class TestProcesses:
+    def test_timeout_advances_time(self):
+        eng = Engine()
+
+        def proc():
+            yield Timeout(5.0)
+            yield Timeout(7.0)
+            return eng.now
+
+        assert eng.run_process(proc()) == 12.0
+
+    def test_timeout_delivers_value(self):
+        eng = Engine()
+
+        def proc():
+            got = yield Timeout(1.0, value="hello")
+            return got
+
+        assert eng.run_process(proc()) == "hello"
+
+    def test_process_return_value(self):
+        eng = Engine()
+
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        assert eng.run_process(proc()) == 42
+
+    def test_waiting_on_another_process_gets_result(self):
+        eng = Engine()
+
+        def child():
+            yield Timeout(3.0)
+            return "done"
+
+        def parent():
+            c = eng.process(child(), name="child")
+            got = yield c
+            return got, eng.now
+
+        assert eng.run_process(parent()) == ("done", 3.0)
+
+    def test_waiting_on_finished_process_resumes_immediately(self):
+        eng = Engine()
+
+        def child():
+            yield Timeout(1.0)
+            return "early"
+
+        def parent():
+            c = eng.process(child(), name="child")
+            yield Timeout(10.0)
+            got = yield c
+            return got, eng.now
+
+        assert eng.run_process(parent()) == ("early", 10.0)
+
+    def test_yielding_garbage_raises(self):
+        eng = Engine()
+
+        def proc():
+            yield object()
+
+        with pytest.raises(SimulationError, match="unsupported"):
+            eng.run_process(proc())
+
+    def test_live_processes_tracked(self):
+        eng = Engine()
+
+        def proc():
+            yield Timeout(1.0)
+
+        eng.process(proc(), name="p")
+        assert len(eng.live_processes) == 1
+        eng.run()
+        assert eng.live_processes == []
+
+    def test_allof_waits_for_all_children(self):
+        eng = Engine()
+
+        def child(d):
+            yield Timeout(d)
+            return d
+
+        def parent():
+            kids = [eng.process(child(d), name=f"c{d}") for d in (5.0, 2.0, 8.0)]
+            vals = yield AllOf(kids)
+            return vals, eng.now
+
+        vals, t = eng.run_process(parent())
+        assert vals == [5.0, 2.0, 8.0]
+        assert t == 8.0
+
+    def test_allof_empty_completes_immediately(self):
+        eng = Engine()
+
+        def parent():
+            vals = yield AllOf([])
+            return vals
+
+        assert eng.run_process(parent()) == []
+
+    def test_allof_mixes_signals_and_timeouts(self):
+        eng = Engine()
+        sig = eng.signal("s")
+        eng.schedule(4.0, lambda: sig.fire("sv"))
+
+        def parent():
+            vals = yield AllOf([sig, Timeout(1.0, value="tv")])
+            return vals
+
+        assert eng.run_process(parent()) == ["sv", "tv"]
+
+
+class TestSignals:
+    def test_fire_wakes_all_waiters(self):
+        eng = Engine()
+        sig = eng.signal("s")
+        woken = []
+
+        def waiter(i):
+            got = yield sig
+            woken.append((i, got, eng.now))
+
+        for i in range(3):
+            eng.process(waiter(i), name=f"w{i}")
+        eng.schedule(6.0, lambda: sig.fire("v"))
+        eng.run()
+        assert woken == [(0, "v", 6.0), (1, "v", 6.0), (2, "v", 6.0)]
+
+    def test_fire_twice_raises(self):
+        eng = Engine()
+        sig = eng.signal("s")
+        sig.fire()
+        with pytest.raises(SimulationError, match="twice"):
+            sig.fire()
+
+    def test_wait_on_fired_signal_resumes_immediately(self):
+        eng = Engine()
+        sig = eng.signal("s")
+        sig.fire("pre")
+
+        def proc():
+            got = yield sig
+            return got
+
+        assert eng.run_process(proc()) == "pre"
+
+    def test_waiter_count(self):
+        eng = Engine()
+        sig = eng.signal("s")
+
+        def waiter():
+            yield sig
+
+        eng.process(waiter(), name="w")
+        eng.schedule(1.0, lambda: None)
+        eng.run(until=0.5, detect_deadlock=False)
+        assert sig.waiter_count == 1
+        sig.fire()
+        eng.run()
+
+    def test_callbacks_invoked_on_fire(self):
+        eng = Engine()
+        sig = eng.signal("s")
+        got = []
+        sig.callbacks.append(got.append)
+        sig.fire(11)
+        assert got == [11]
+
+
+class TestResources:
+    def test_capacity_one_serializes(self):
+        eng = Engine()
+        res = eng.resource(1, "r")
+        spans = []
+
+        def proc(i):
+            yield res.acquire()
+            start = eng.now
+            yield Timeout(10.0)
+            res.release()
+            spans.append((i, start, eng.now))
+
+        for i in range(3):
+            eng.process(proc(i), name=f"p{i}")
+        eng.run()
+        assert [s[1] for s in spans] == [0.0, 10.0, 20.0]
+
+    def test_fifo_grant_order(self):
+        eng = Engine()
+        res = eng.resource(1, "r")
+        order = []
+
+        def proc(i):
+            yield res.acquire()
+            order.append(i)
+            yield Timeout(1.0)
+            res.release()
+
+        for i in range(5):
+            eng.process(proc(i), name=f"p{i}")
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_capacity_n_allows_parallelism(self):
+        eng = Engine()
+        res = eng.resource(3, "r")
+        ends = []
+
+        def proc():
+            yield res.acquire()
+            yield Timeout(10.0)
+            res.release()
+            ends.append(eng.now)
+
+        for _ in range(3):
+            eng.process(proc(), name="p")
+        eng.run()
+        assert ends == [10.0, 10.0, 10.0]
+
+    def test_release_idle_raises(self):
+        eng = Engine()
+        res = eng.resource(1, "r")
+        with pytest.raises(SimulationError, match="idle"):
+            res.release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().resource(0)
+
+    def test_queue_length_and_in_use(self):
+        eng = Engine()
+        res = eng.resource(1, "r")
+
+        def holder():
+            yield res.acquire()
+            yield Timeout(10.0)
+            res.release()
+
+        def waiter():
+            yield res.acquire()
+            res.release()
+
+        eng.process(holder(), name="h")
+        eng.process(waiter(), name="w")
+        eng.run(until=5.0)
+        assert res.in_use == 1
+        assert res.queue_length == 1
+        eng.run()
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(st.floats(min_value=0.1, max_value=20.0), min_size=1, max_size=15),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_exceeds_capacity(self, capacity, durations):
+        eng = Engine()
+        res = eng.resource(capacity, "r")
+        active = [0]
+        peak = [0]
+
+        def proc(d):
+            yield res.acquire()
+            active[0] += 1
+            peak[0] = max(peak[0], active[0])
+            yield Timeout(d)
+            active[0] -= 1
+            res.release()
+
+        for d in durations:
+            eng.process(proc(d), name="p")
+        eng.run()
+        assert peak[0] <= capacity
+        assert active[0] == 0
+
+
+class TestDeadlockDetection:
+    def test_blocked_process_raises_deadlock(self):
+        eng = Engine()
+        sig = eng.signal("never")
+
+        def proc():
+            yield sig
+
+        eng.process(proc(), name="stuck")
+        with pytest.raises(DeadlockError) as exc:
+            eng.run()
+        assert "stuck" in str(exc.value)
+
+    def test_deadlock_lists_all_blocked(self):
+        eng = Engine()
+        sig = eng.signal("never")
+
+        def proc():
+            yield sig
+
+        for i in range(3):
+            eng.process(proc(), name=f"b{i}")
+        with pytest.raises(DeadlockError) as exc:
+            eng.run()
+        assert len(exc.value.blocked) == 3
+
+    def test_detection_can_be_disabled(self):
+        eng = Engine()
+        sig = eng.signal("never")
+
+        def proc():
+            yield sig
+
+        eng.process(proc(), name="stuck")
+        eng.run(detect_deadlock=False)  # no raise
+
+    def test_clean_completion_no_deadlock(self):
+        eng = Engine()
+
+        def proc():
+            yield Timeout(1.0)
+
+        eng.process(proc(), name="ok")
+        eng.run()  # no raise
+
+    def test_mutual_resource_wait_deadlocks(self):
+        eng = Engine()
+        a, b = eng.resource(1, "a"), eng.resource(1, "b")
+
+        def p1():
+            yield a.acquire()
+            yield Timeout(1.0)
+            yield b.acquire()
+
+        def p2():
+            yield b.acquire()
+            yield Timeout(1.0)
+            yield a.acquire()
+
+        eng.process(p1(), name="p1")
+        eng.process(p2(), name="p2")
+        with pytest.raises(DeadlockError):
+            eng.run()

@@ -1,0 +1,156 @@
+"""Tests for the block-level thread-precise executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cudasim import instructions as ins
+from repro.sim.exec_block import BlockExecutor
+from repro.sim.sm import block_sync_latency_cycles
+
+
+class TestConstruction:
+    def test_warp_partitioning(self, spec):
+        ex = BlockExecutor(spec, nthreads=100)
+        assert ex.warp_count == 4
+        assert [w.nthreads for w in ex.warps] == [32, 32, 32, 4]
+
+    def test_invalid_thread_count(self, spec):
+        with pytest.raises(ValueError):
+            BlockExecutor(spec, nthreads=0)
+        with pytest.raises(ValueError):
+            BlockExecutor(spec, nthreads=2048)
+
+
+class TestGlobalThreadIds:
+    def test_tids_unique_across_warps(self, spec):
+        def program(ctx):
+            yield ins.Compute(cycles=1.0)
+            return ctx.tid
+
+        r = BlockExecutor(spec, nthreads=96).run(program)
+        assert sorted(r.returns.values()) == list(range(96))
+
+    def test_lane_is_intra_warp(self, spec):
+        def program(ctx):
+            yield ins.Compute(cycles=1.0)
+            ctx.record("lane", ctx.lane)
+
+        r = BlockExecutor(spec, nthreads=64).run(program)
+        assert r.records[33]["lane"] == 1
+
+
+class TestBlockSync:
+    def test_syncthreads_blocks_on_both_architectures(self, spec):
+        """Unlike warp barriers, __syncthreads holds threads on Pascal."""
+
+        def program(ctx):
+            if ctx.tid == 0:
+                yield ins.Compute(cycles=700.0)
+            yield ins.BlockSync()
+            t = yield ins.ReadClock()
+            ctx.record("release", t)
+
+        r = BlockExecutor(spec, nthreads=64).run(program)
+        releases = [r.records[t]["release"] for t in range(64)]
+        assert min(releases) >= 700.0
+
+    def test_sync_cost_matches_calibration(self, spec):
+        def program(ctx):
+            yield ins.BlockSync()
+
+        ex = BlockExecutor(spec, nthreads=256)
+        r = ex.run(program)
+        expected = block_sync_latency_cycles(spec, 8)
+        assert r.duration_cycles == pytest.approx(expected, rel=0.02)
+
+    def test_repeated_syncs_use_fresh_rounds(self, spec):
+        def program(ctx):
+            for _ in range(3):
+                yield ins.BlockSync()
+
+        ex = BlockExecutor(spec, nthreads=64)
+        ex.run(program)
+        assert ex.barrier.rounds_completed == 3
+
+    def test_sync_commits_shared_memory_across_warps(self, v100):
+        def program(ctx):
+            yield ins.SharedStore(slot=ctx.tid, value=float(ctx.tid + 1))
+            yield ins.BlockSync()
+            got = yield ins.SharedLoad(slot=(ctx.tid + 32) % 64)
+            ctx.record("got", got)
+
+        r = BlockExecutor(v100, nthreads=64).run(program)
+        assert not r.shared.race_detected
+        assert r.records[0]["got"] == 33.0  # thread 0 reads warp 1's slot
+
+    def test_cross_warp_read_without_sync_races(self, v100):
+        def program(ctx):
+            yield ins.SharedStore(slot=ctx.tid, value=1.0)
+            yield ins.Compute(cycles=50.0)
+            got = yield ins.SharedLoad(slot=(ctx.tid + 32) % 64)
+            ctx.record("got", got)
+
+        r = BlockExecutor(v100, nthreads=64).run(program)
+        assert r.shared.race_detected
+
+
+class TestWarpLocality:
+    def test_warp_syncs_stay_warp_local(self, v100):
+        """A tile sync in warp 0 must not wait for warp 1."""
+
+        def program(ctx):
+            if ctx.tid >= 32:
+                yield ins.Compute(cycles=5000.0)
+            else:
+                yield ins.WarpSync(kind="tile", group_size=32)
+                t = yield ins.ReadClock()
+                ctx.record("release", t)
+
+        r = BlockExecutor(v100, nthreads=64).run(program)
+        assert r.records[0]["release"] < 100.0
+
+    def test_shuffles_exchange_within_warp_only(self, v100):
+        def program(ctx):
+            got = yield ins.ShuffleDown(value=float(ctx.tid), delta=1)
+            ctx.record("got", got)
+
+        r = BlockExecutor(v100, nthreads=64).run(program)
+        # Lane 31 of warp 0 keeps its own value (no cross-warp shuffle).
+        assert r.records[31]["got"] == 31.0
+        assert r.records[32]["got"] == 33.0
+
+
+class TestFig12ThreadPrecise:
+    """The paper's Fig 12 block_reduce, executed thread-by-thread."""
+
+    def test_block_reduce_program(self, v100):
+        rng = np.random.default_rng(12)
+        data = rng.uniform(0.0, 1.0, 128)
+        nthreads = 128
+
+        def program(ctx):
+            # Phase 1: each thread owns one element (stride loop trivial).
+            yield ins.SharedStore(slot=ctx.tid, value=float(data[ctx.tid]))
+            yield ins.BlockSync()
+            # Phase 2: warp 0 accumulates one partial per warp... here each
+            # warp reduces itself with shuffles, then warp 0 combines.
+            val = yield ins.SharedLoad(slot=ctx.tid)
+            for step in (16, 8, 4, 2, 1):
+                got = yield ins.ShuffleDown(value=val, delta=step)
+                if ctx.lane + step < 32:
+                    val = val + got
+            if ctx.lane == 0:
+                yield ins.SharedStore(slot=ctx.tid, value=val, volatile=True)
+            yield ins.BlockSync()
+            if ctx.tid == 0:
+                total = 0.0
+                for w in range(nthreads // 32):
+                    p = yield ins.SharedLoad(slot=w * 32)
+                    total += p
+                ctx.record("sum", total)
+
+        r = BlockExecutor(v100, nthreads=nthreads).run(program)
+        assert r.records[0]["sum"] == pytest.approx(data.sum())
+        assert not r.shared.race_detected

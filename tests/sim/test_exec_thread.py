@@ -1,0 +1,289 @@
+"""Tests for the thread-precise warp executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cudasim import instructions as ins
+from repro.sim.engine import DeadlockError
+from repro.sim.exec_thread import UnsupportedInstruction, WarpExecutor
+
+
+def run(spec, program, nthreads=32, **kw):
+    return WarpExecutor(spec, nthreads=nthreads, **kw).run(program)
+
+
+class TestBasics:
+    def test_compute_advances_one_thread(self, spec):
+        def program(ctx):
+            yield ins.Compute(cycles=100.0)
+
+        r = run(spec, program, nthreads=1)
+        assert r.duration_cycles == pytest.approx(100.0, abs=0.5)
+
+    def test_converged_threads_do_not_serialize(self, spec):
+        def program(ctx):
+            yield ins.Compute(cycles=100.0)
+
+        r1 = run(spec, program, nthreads=1)
+        r32 = run(spec, program, nthreads=32)
+        assert r32.duration_cycles == pytest.approx(r1.duration_cycles, rel=0.01)
+
+    def test_fadd_chain_latency(self, spec):
+        def program(ctx):
+            yield ins.FAdd(count=10)
+
+        r = run(spec, program, nthreads=1)
+        assert r.duration_cycles == pytest.approx(10 * spec.instructions.fadd, abs=0.5)
+
+    def test_chainstep_uses_shared_chain_latency(self, spec):
+        def program(ctx):
+            yield ins.ChainStep(count=4)
+
+        r = run(spec, program, nthreads=1)
+        assert r.duration_cycles == pytest.approx(
+            4 * spec.shared_mem.chain_latency_cycles, abs=0.5
+        )
+
+    def test_read_clock_returns_progressing_values(self, spec):
+        def program(ctx):
+            t0 = yield ins.ReadClock()
+            yield ins.Compute(cycles=50.0)
+            t1 = yield ins.ReadClock()
+            ctx.record("delta", t1 - t0)
+
+        r = run(spec, program, nthreads=1)
+        assert 45.0 <= r.records[0]["delta"] <= 60.0
+
+    def test_returns_collected(self, spec):
+        def program(ctx):
+            yield ins.Compute(cycles=1.0)
+            return ctx.tid * 2
+
+        r = run(spec, program, nthreads=4)
+        assert r.returns == {0: 0, 1: 2, 2: 4, 3: 6}
+
+    def test_invalid_thread_count(self, spec):
+        with pytest.raises(ValueError):
+            WarpExecutor(spec, nthreads=0)
+        with pytest.raises(ValueError):
+            WarpExecutor(spec, nthreads=33)
+
+    def test_unknown_instruction_rejected(self, spec):
+        def program(ctx):
+            yield "not-an-instruction"
+
+        with pytest.raises(Exception):
+            run(spec, program, nthreads=1)
+
+
+class TestNanosleep:
+    def test_volta_sleeps(self, v100):
+        def program(ctx):
+            yield ins.Nanosleep(ns=1000.0)
+
+        r = run(v100, program, nthreads=1)
+        assert r.duration_ns == pytest.approx(1000.0)
+
+    def test_pascal_lacks_nanosleep(self, p100):
+        def program(ctx):
+            yield ins.Nanosleep(ns=1000.0)
+
+        with pytest.raises(UnsupportedInstruction, match="Volta"):
+            run(p100, program, nthreads=1)
+
+
+class TestWarpSync:
+    def test_full_warp_tile_sync_latency(self, spec):
+        def program(ctx):
+            yield ins.WarpSync(kind="tile", group_size=32)
+
+        r = run(spec, program)
+        assert r.duration_cycles == pytest.approx(
+            spec.warp_sync.tile_latency, abs=1.0
+        )
+
+    def test_volta_sync_blocks_until_all_arrive(self, v100):
+        def program(ctx):
+            if ctx.tid == 0:
+                yield ins.Compute(cycles=500.0)  # straggler
+            yield ins.WarpSync(kind="tile", group_size=32)
+            t = yield ins.ReadClock()
+            ctx.record("release", t)
+
+        r = run(v100, program)
+        releases = [r.records[t]["release"] for t in range(32)]
+        assert max(releases) - min(releases) <= 3.0
+        assert min(releases) >= 500.0
+
+    def test_pascal_sync_does_not_block(self, p100):
+        def program(ctx):
+            if ctx.tid == 0:
+                yield ins.Compute(cycles=500.0)
+            yield ins.WarpSync(kind="tile", group_size=32)
+            t = yield ins.ReadClock()
+            ctx.record("release", t)
+
+        r = run(p100, program)
+        releases = [r.records[t]["release"] for t in range(32)]
+        # Thread 0 is still computing when the others pass the "barrier".
+        assert min(releases) < 100.0
+        assert max(releases) >= 500.0
+
+    def test_sync_in_loop_uses_fresh_rounds(self, spec):
+        def program(ctx):
+            for _ in range(5):
+                yield ins.WarpSync(kind="tile", group_size=32)
+
+        r = run(spec, program)
+        assert r.duration_cycles == pytest.approx(
+            5 * spec.warp_sync.tile_latency, rel=0.1, abs=2.0
+        )
+
+    def test_tile_subgroups_sync_independently(self, v100):
+        # Two 16-wide tiles; a straggler in tile 0 must not delay tile 1.
+        def program(ctx):
+            if ctx.tid == 0:
+                yield ins.Compute(cycles=1000.0)
+            yield ins.WarpSync(kind="tile", group_size=16)
+            t = yield ins.ReadClock()
+            ctx.record("release", t)
+
+        r = run(v100, program)
+        tile1 = [r.records[t]["release"] for t in range(16, 32)]
+        assert max(tile1) < 100.0
+
+    def test_unmasked_partial_arrival_deadlocks_on_volta(self, v100):
+        # Half the warp never reaches a full-warp barrier with a full mask:
+        # the rendezvous can never complete.
+        def program(ctx):
+            if ctx.tid < 16:
+                yield ins.WarpSync(kind="tile", group_size=32)
+
+        with pytest.raises(DeadlockError):
+            run(v100, program)
+
+    def test_masked_partial_sync_completes(self, v100):
+        def program(ctx):
+            if ctx.tid < 16:
+                yield ins.WarpSync(kind="tile", group_size=32, mask=0x0000FFFF)
+
+        run(v100, program)  # no deadlock
+
+    def test_coalesced_full_vs_partial_latency_on_volta(self, v100):
+        def program(ctx):
+            yield ins.WarpSync(kind="coalesced", group_size=32)
+
+        full = run(v100, program, nthreads=32).duration_cycles
+        partial = run(v100, program, nthreads=16).duration_cycles
+        assert full == pytest.approx(v100.warp_sync.coalesced_full_latency, abs=1.0)
+        assert partial == pytest.approx(
+            v100.warp_sync.coalesced_partial_latency, abs=1.0
+        )
+        assert partial > full  # the V100 slow path (Table II)
+
+
+class TestShuffle:
+    def test_shuffle_down_delivers_neighbor_value(self, v100):
+        def program(ctx):
+            got = yield ins.ShuffleDown(value=float(ctx.tid), delta=4)
+            ctx.record("got", got)
+
+        r = run(v100, program)
+        for tid in range(28):
+            assert r.records[tid]["got"] == float(tid + 4)
+
+    def test_shuffle_out_of_range_keeps_own_value(self, v100):
+        def program(ctx):
+            got = yield ins.ShuffleDown(value=float(ctx.tid), delta=4)
+            ctx.record("got", got)
+
+        r = run(v100, program)
+        for tid in range(28, 32):
+            assert r.records[tid]["got"] == float(tid)
+
+    def test_shuffle_latency_tile_vs_coalesced(self, spec):
+        def tile(ctx):
+            yield ins.ShuffleDown(value=1.0, delta=1, kind="tile")
+
+        def coa(ctx):
+            yield ins.ShuffleDown(value=1.0, delta=1, kind="coalesced")
+
+        t = run(spec, tile).duration_cycles
+        c = run(spec, coa).duration_cycles
+        assert t == pytest.approx(spec.warp_sync.shuffle_tile_latency, abs=1.0)
+        assert c == pytest.approx(spec.warp_sync.shuffle_coalesced_latency, abs=1.0)
+
+    def test_pascal_converged_shuffle_is_correct(self, p100):
+        def program(ctx):
+            got = yield ins.ShuffleDown(value=float(ctx.tid), delta=1)
+            ctx.record("got", got)
+
+        r = run(p100, program)
+        assert not r.shuffle_incorrect
+        assert r.records[0]["got"] == 1.0
+
+    def test_pascal_divergent_shuffle_goes_stale(self, p100):
+        def program(ctx):
+            yield ins.Diverge()
+            got = yield ins.ShuffleDown(value=float(ctx.tid), delta=1)
+            ctx.record("got", got)
+
+        r = run(p100, program)
+        assert r.shuffle_incorrect
+
+    def test_volta_divergent_shuffle_still_correct(self, v100):
+        def program(ctx):
+            yield ins.Diverge()
+            got = yield ins.ShuffleDown(value=float(ctx.tid), delta=1)
+            ctx.record("got", got)
+
+        r = run(v100, program)
+        assert not r.shuffle_incorrect
+        assert r.records[0]["got"] == 1.0
+
+
+class TestDivergence:
+    def test_diverge_serializes_threads(self, spec):
+        def program(ctx):
+            yield ins.Diverge()
+            t = yield ins.ReadClock()
+            ctx.record("t", t)
+
+        r = run(spec, program)
+        times = [r.records[t]["t"] for t in range(32)]
+        assert times == sorted(times)
+        step = spec.instructions.divergent_arm_cycles
+        assert times[-1] - times[0] == pytest.approx(31 * step, rel=0.05)
+
+
+class TestSharedMemoryInstructions:
+    def test_store_then_load_roundtrip_same_thread(self, spec):
+        def program(ctx):
+            yield ins.SharedStore(slot=ctx.tid, value=float(ctx.tid) * 2)
+            got = yield ins.SharedLoad(slot=ctx.tid)
+            ctx.record("got", got)
+
+        r = run(spec, program, nthreads=4)
+        assert [r.records[t]["got"] for t in range(4)] == [0.0, 2.0, 4.0, 6.0]
+
+    def test_cross_thread_load_without_sync_races(self, v100):
+        def program(ctx):
+            yield ins.SharedStore(slot=ctx.tid, value=1.0)
+            yield ins.Compute(cycles=50.0)
+            got = yield ins.SharedLoad(slot=(ctx.tid + 1) % 2)
+            ctx.record("got", got)
+
+        r = run(v100, program, nthreads=2)
+        assert r.shared.race_detected
+
+    def test_sync_commits_cross_thread_writes(self, v100):
+        def program(ctx):
+            yield ins.SharedStore(slot=ctx.tid, value=float(ctx.tid + 1))
+            yield ins.WarpSync(kind="tile", group_size=32)
+            got = yield ins.SharedLoad(slot=(ctx.tid + 1) % 32)
+            ctx.record("got", got)
+
+        r = run(v100, program)
+        assert not r.shared.race_detected
+        assert r.records[0]["got"] == 2.0

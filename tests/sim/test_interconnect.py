@@ -1,0 +1,103 @@
+"""Tests for interconnect topologies (DGX-1 cube-mesh, PCIe)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.interconnect import (
+    DGX1_NVLINK_LINKS,
+    build_dgx1_nvlink,
+    build_interconnect,
+    build_pcie,
+)
+
+
+class TestDGX1Topology:
+    def test_eight_gpus(self):
+        assert build_dgx1_nvlink().gpu_count == 8
+
+    def test_link_list_matches_hybrid_cube_mesh(self):
+        ic = build_dgx1_nvlink()
+        for a, b in DGX1_NVLINK_LINKS:
+            assert ic.hops(a, b) == 1
+
+    def test_each_gpu_has_four_neighbors(self):
+        ic = build_dgx1_nvlink()
+        for g in range(8):
+            assert len(ic.neighbors(g)) == 4
+
+    def test_quad_membership_one_hop_from_leader(self):
+        ic = build_dgx1_nvlink()
+        # GPU 0 reaches its quad (1,2,3) and cube partner (4) in one hop.
+        for g in (1, 2, 3, 4):
+            assert ic.hops(0, g) == 1
+
+    def test_cross_quad_non_partner_is_two_hops(self):
+        ic = build_dgx1_nvlink()
+        for g in (5, 6, 7):
+            assert ic.hops(0, g) == 2
+
+    def test_paper_plateau_structure(self):
+        """Sets {0..k} for k<=4 are 1-hop; k>=5 introduces 2-hop members —
+        exactly the Fig 8/9 latency plateau boundaries."""
+        ic = build_dgx1_nvlink()
+        for k in range(1, 5):
+            assert ic.max_hops_from(0, list(range(k + 1))) == 1
+        for k in range(5, 8):
+            assert ic.max_hops_from(0, list(range(k + 1))) == 2
+
+    def test_two_hop_member_counts(self):
+        ic = build_dgx1_nvlink()
+        assert ic.two_hop_members(0, list(range(6))) == [5]
+        assert ic.two_hop_members(0, list(range(8))) == [5, 6, 7]
+
+    def test_hops_symmetric(self):
+        ic = build_dgx1_nvlink()
+        for a in range(8):
+            for b in range(8):
+                assert ic.hops(a, b) == ic.hops(b, a)
+
+    def test_self_hops_zero(self):
+        ic = build_dgx1_nvlink()
+        assert ic.hops(3, 3) == 0
+
+
+class TestPCIe:
+    def test_two_gpu_pcie(self):
+        ic = build_pcie(2)
+        assert ic.gpu_count == 2
+        assert ic.hops(0, 1) == 1
+
+    def test_single_gpu_degenerate(self):
+        assert build_pcie(1).gpu_count == 1
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            build_pcie(0)
+
+    def test_pcie_slower_than_nvlink(self):
+        p, n = build_pcie(2), build_dgx1_nvlink()
+        nbytes = 1_000_000
+        assert p.peer_transfer_ns(0, 1, nbytes) > n.peer_transfer_ns(0, 1, nbytes)
+
+
+class TestFactory:
+    def test_builds_subgraph_for_fewer_gpus(self):
+        ic = build_interconnect("nvlink-cube-mesh", 4)
+        assert ic.gpu_count == 4
+        assert ic.max_hops_from(0, [1, 2, 3]) == 1
+
+    def test_rejects_too_many_gpus(self):
+        with pytest.raises(ValueError, match="8 GPUs"):
+            build_interconnect("nvlink-cube-mesh", 9)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_interconnect("infiniband", 2)
+
+    def test_transfer_time_includes_payload(self):
+        ic = build_dgx1_nvlink()
+        small = ic.peer_transfer_ns(0, 1, 1000)
+        large = ic.peer_transfer_ns(0, 1, 1_000_000)
+        assert large > small
+        assert ic.peer_transfer_ns(0, 0, 10**6) == 0.0

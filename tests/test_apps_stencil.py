@@ -1,0 +1,111 @@
+"""Tests for the iterative-stencil application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.stencil import (
+    stencil_multi_kernel,
+    stencil_persistent,
+    stencil_reference,
+    stencil_strategy_crossover,
+)
+
+
+class TestReference:
+    def test_zero_steps_is_identity(self):
+        u = np.arange(10.0)
+        np.testing.assert_array_equal(stencil_reference(u, 0), u)
+
+    def test_boundaries_fixed(self):
+        u = np.array([1.0, 5.0, 5.0, 5.0, 9.0])
+        out = stencil_reference(u, 20)
+        assert out[0] == 1.0 and out[-1] == 9.0
+
+    def test_converges_to_linear_profile(self):
+        u = np.zeros(9)
+        u[0], u[-1] = 0.0, 8.0
+        out = stencil_reference(u, 2000)
+        np.testing.assert_allclose(out, np.linspace(0, 8, 9), atol=1e-6)
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            stencil_reference(np.zeros(2), 1)
+        with pytest.raises(ValueError):
+            stencil_reference(np.zeros(10), -1)
+
+    @given(
+        st.lists(st.floats(-10, 10), min_size=3, max_size=64),
+        st.integers(0, 30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mean_bounded_by_extremes(self, vals, steps):
+        """Jacobi smoothing never exceeds the initial min/max (maximum
+        principle)."""
+        u = np.array(vals)
+        out = stencil_reference(u, steps)
+        assert out.max() <= u.max() + 1e-9
+        assert out.min() >= u.min() - 1e-9
+
+
+class TestStrategiesAgree:
+    @pytest.fixture(scope="class")
+    def initial(self):
+        return np.random.default_rng(3).uniform(size=2048)
+
+    def test_multi_kernel_matches_reference(self, spec, initial):
+        r = stencil_multi_kernel(spec, initial, steps=25)
+        assert r.matches(stencil_reference(initial, 25))
+
+    def test_persistent_matches_reference(self, spec, initial):
+        r = stencil_persistent(spec, initial, steps=25)
+        assert r.matches(stencil_reference(initial, 25))
+
+    def test_steps_validated(self, v100, initial):
+        with pytest.raises(ValueError):
+            stencil_multi_kernel(v100, initial, steps=0)
+        with pytest.raises(ValueError):
+            stencil_persistent(v100, initial, steps=0)
+
+    def test_persistent_rejects_bad_occupancy(self, v100, initial):
+        with pytest.raises(ValueError, match="co-resident"):
+            stencil_persistent(v100, initial, 5, threads_per_block=1024,
+                               blocks_per_sm=4)
+
+
+class TestTradeoff:
+    def test_persistent_overhead_is_grid_sync(self, v100):
+        from repro.sim.device import grid_sync_latency_ns
+
+        initial = np.zeros(4096)
+        r = stencil_persistent(v100, initial, steps=10)
+        assert r.per_step_overhead_ns == pytest.approx(
+            grid_sync_latency_ns(v100, 2, 256)
+        )
+
+    def test_multi_kernel_overhead_near_null_latency_for_small_grids(self, v100):
+        initial = np.zeros(4096)
+        r = stencil_multi_kernel(v100, initial, steps=10)
+        # Small steps cannot hide the dispatch pipeline: ~Table I total.
+        assert r.per_step_overhead_ns == pytest.approx(8888.0, rel=0.15)
+
+    def test_persistent_wins_small_grids(self, v100):
+        r = stencil_strategy_crossover(v100, 1 << 14, steps=50)
+        assert r["winner"] == "persistent"
+        assert r["reused_shared_memory"]
+        assert r["correct"]
+
+    def test_strategies_converge_for_huge_grids(self, v100):
+        r = stencil_strategy_crossover(v100, 1 << 28, steps=50)
+        # Bandwidth-bound regime: within a few percent either way.
+        ratio = r["persistent_us"] / r["multi_kernel_us"]
+        assert 0.9 < ratio < 1.1
+
+    def test_crossover_exists_between_regimes(self, v100):
+        small = stencil_strategy_crossover(v100, 1 << 14, steps=50)
+        huge = stencil_strategy_crossover(v100, 1 << 28, steps=50)
+        assert small["persistent_us"] / small["multi_kernel_us"] < \
+            huge["persistent_us"] / huge["multi_kernel_us"]

@@ -1,0 +1,144 @@
+"""Cross-cutting property-based tests on the cost models and protocols.
+
+These encode the *monotonicity and consistency laws* the paper's data obeys
+— any refactor of the simulator that breaks one of these would produce
+physically impossible machines even if the anchor points still matched.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.arch import DGX1_V100, P100, V100
+from repro.sim.device import grid_sync_latency_ns
+from repro.sim.node import Node, cross_gpu_latency_ns, multigrid_local_latency_ns
+from repro.sim.occupancy import blocks_per_sm as occ_blocks_per_sm
+from repro.sim.sm import block_sync_latency_cycles
+
+specs = st.sampled_from([V100, P100])
+blocks = st.sampled_from([1, 2, 4, 8, 16, 32])
+threads = st.sampled_from([32, 64, 128, 256, 512, 1024])
+
+
+def legal(spec, b, t) -> bool:
+    return b <= occ_blocks_per_sm(spec, t).blocks_per_sm
+
+
+class TestGridSyncLaws:
+    @given(specs, blocks, threads)
+    @settings(max_examples=100, deadline=None)
+    def test_positive_and_bounded(self, spec, b, t):
+        assume(legal(spec, b, t))
+        ns = grid_sync_latency_ns(spec, b, t)
+        assert 0 < ns < 100_000  # no cell above 100 us in the paper
+
+    @given(specs, blocks, threads)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_blocks(self, spec, b, t):
+        assume(b > 1 and legal(spec, b, t))
+        assert grid_sync_latency_ns(spec, b, t) > grid_sync_latency_ns(spec, b // 2, t)
+
+    @given(specs, blocks, threads)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_threads(self, spec, b, t):
+        assume(t > 32 and legal(spec, b, t))
+        assert grid_sync_latency_ns(spec, b, t) >= grid_sync_latency_ns(spec, b, t // 2)
+
+    @given(specs, threads)
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_dominate_threads(self, spec, t):
+        """Doubling blocks/SM always costs more than doubling threads/block
+        (the paper's central Fig 5 observation)."""
+        assume(legal(spec, 2, t) and legal(spec, 1, min(t * 2, 1024)) and t < 1024)
+        base = grid_sync_latency_ns(spec, 1, t)
+        more_blocks = grid_sync_latency_ns(spec, 2, t)
+        more_threads = grid_sync_latency_ns(spec, 1, t * 2)
+        assert more_blocks - base > more_threads - base
+
+
+class TestMultiGridLaws:
+    @given(blocks, threads)
+    @settings(max_examples=60, deadline=None)
+    def test_multigrid_local_costs_at_least_grid_sync_shape(self, b, t):
+        assume(legal(V100, b, t))
+        local = multigrid_local_latency_ns(DGX1_V100, b, t)
+        assert local > 0
+
+    @given(st.integers(2, 8), blocks)
+    @settings(max_examples=60, deadline=None)
+    def test_cross_phase_monotone_in_gpu_count(self, n, b):
+        node = Node(DGX1_V100)
+        smaller = cross_gpu_latency_ns(DGX1_V100, node.interconnect, range(n - 1), b)
+        larger = cross_gpu_latency_ns(DGX1_V100, node.interconnect, range(n), b)
+        assert larger >= smaller
+
+    @given(st.integers(2, 8), blocks)
+    @settings(max_examples=60, deadline=None)
+    def test_cross_phase_monotone_in_blocks(self, n, b):
+        assume(b > 1)
+        node = Node(DGX1_V100)
+        assert cross_gpu_latency_ns(
+            DGX1_V100, node.interconnect, range(n), b
+        ) > cross_gpu_latency_ns(DGX1_V100, node.interconnect, range(n), b // 2)
+
+
+class TestBlockSyncLaws:
+    @given(specs, st.integers(1, 32))
+    @settings(max_examples=80, deadline=None)
+    def test_latency_affine_in_warps(self, spec, w):
+        l1 = block_sync_latency_cycles(spec, w)
+        l2 = block_sync_latency_cycles(spec, w + 1)
+        assert l2 - l1 == pytest.approx(spec.block_sync.per_warp_latency_cycles)
+
+    @given(st.integers(1, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_pascal_always_slower_than_volta(self, w):
+        # In cycles *and* wall time (P100 also clocks lower).
+        assert block_sync_latency_cycles(P100, w) > block_sync_latency_cycles(V100, w)
+
+
+class TestStreamLaws:
+    @given(
+        st.lists(st.floats(100.0, 50_000.0), min_size=1, max_size=10),
+        st.sampled_from(["traditional", "cooperative"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pipeline_order_and_spacing(self, durations, launch_type):
+        """Kernels retire in order; consecutive starts are separated by at
+        least the gap; every kernel starts no earlier than its enqueue plus
+        dispatch."""
+        from repro.cudasim.kernel import LaunchConfig, WorkKernel
+        from repro.cudasim.stream import Stream
+        from repro.sim.device import Device
+        from repro.sim.engine import Engine
+
+        calib = V100.launch_calib(launch_type)
+        eng = Engine()
+        s = Stream(eng, Device(V100))
+        cfg = LaunchConfig(1, 32)
+        recs = [s.enqueue(WorkKernel(d), cfg, calib, float(i)) for i, d in enumerate(durations)]
+        for i, rec in enumerate(recs):
+            assert rec.end_ns == pytest.approx(rec.start_ns + durations[i])
+            assert rec.start_ns >= i + calib.dispatch_ns - 1e-9
+        for a, b in zip(recs, recs[1:]):
+            assert b.start_ns >= a.end_ns + calib.gap_ns - 1e-9
+
+
+class TestPerfModelLaws:
+    @given(
+        st.floats(0.1, 10.0), st.floats(11.0, 400.0),
+        st.floats(1.0, 100.0), st.floats(0.0, 10_000.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_switching_points_ordering(self, thr_b, thr_m, lat, sync):
+        """N_l >= the point where sync amortizes; both grow with sync cost."""
+        from repro.core.perfmodel import WorkerConfig, switching_points
+
+        basic = WorkerConfig("b", thr_b, lat)
+        more = WorkerConfig("m", thr_m, lat)
+        p1 = switching_points(basic, more, sync)
+        p2 = switching_points(basic, more, sync + 100.0)
+        assert p2.n_large > p1.n_large
+        assert p2.n_medium > p1.n_medium

@@ -1,0 +1,66 @@
+"""Tests for ASCII table and heat-map rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viz.heatmap import render_heatmap, render_heatmap_pair
+from repro.viz.tables import format_value, render_table
+
+
+class TestFormatValue:
+    def test_none_is_dash(self):
+        assert format_value(None) == "-"
+
+    def test_bools(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_precision_tiers(self):
+        assert format_value(0.0) == "0"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(123.456) == "123.5"
+        assert format_value(123456.0) == "123,456"
+
+    def test_strings_pass_through(self):
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_cells(self):
+        out = render_table(["a", "b"], [[1, 2.5], ["x", None]], title="T")
+        assert "T" in out
+        assert "| a" in out or " a |" in out
+        assert "2.50" in out
+        assert "-" in out
+
+    def test_empty_rows_ok(self):
+        out = render_table(["col"], [])
+        assert "col" in out
+
+    def test_column_alignment(self):
+        out = render_table(["h"], [[1], [100000]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1  # all rows same width
+
+
+class TestRenderHeatmap:
+    def test_layout_matches_paper_axes(self):
+        cells = {(1, 32): 1.5, (2, 64): 2.5}
+        out = render_heatmap(cells, title="HM")
+        assert "HM" in out
+        assert "1024" in out  # thread columns
+        assert "1.50" in out and "2.50" in out
+
+    def test_missing_cells_blank(self):
+        out = render_heatmap({(1, 32): 1.0})
+        # Row for 32 blocks/SM exists but has no values.
+        row32 = [l for l in out.splitlines() if l.strip().startswith("32")][0]
+        assert "1.00" not in row32
+
+    def test_pair_reports_error_stats(self):
+        measured = {(1, 32): 1.1}
+        paper = {(1, 32): 1.0}
+        out = render_heatmap_pair(measured, paper, title="X")
+        assert "relative error" in out
+        assert "10.0%" in out
