@@ -1,0 +1,136 @@
+"""Benchmark E-ENG: engine scheduling-core throughput.
+
+Unlike the E-* paper benchmarks (which time a figure/table *regeneration*),
+these measure the simulation engine itself — the hot path every
+reproduction runs through.  Events/sec for the dominant event classes are
+attached to ``benchmark.extra_info`` so regressions of the ready-queue /
+allocation-free-resume fast paths show up in the JSON artifact.
+
+Seed-engine reference numbers (recorded in ROADMAP.md): the zero-delay
+resume microbenchmark must stay >= 3x the seed's ~0.65M events/s.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Engine, Resource, Signal, Timeout
+
+_N_RESUME = 100_000
+_N_CHAIN = 50_000
+_N_PROCS = 1_000
+_N_ROUNDS = 20
+
+
+def _zero_delay_resume() -> int:
+    """One process spinning on zero-delay timeouts: the resume fast path.
+
+    Uses the hoisted-Timeout idiom (immutable, reusable) so the measurement
+    is engine overhead, not caller-side allocation.
+    """
+    eng = Engine()
+    tick = Timeout(0.0)
+
+    def proc():
+        for _ in range(_N_RESUME):
+            yield tick
+
+    eng.run_process(proc())
+    return eng.event_count
+
+
+def _zero_delay_pingpong() -> int:
+    """Two runnable processes alternating: exercises the ready deque
+    (the trampoline only applies to a sole runnable process)."""
+    eng = Engine()
+
+    def proc():
+        for _ in range(_N_RESUME // 2):
+            yield Timeout(0.0)
+
+    eng.process(proc(), name="a")
+    eng.process(proc(), name="b")
+    eng.run()
+    return eng.event_count
+
+
+def _signal_chain() -> int:
+    """Signal fire -> waiter resume chain (barrier release pattern)."""
+    eng = Engine()
+    sigs = [Signal(eng, name=f"s{i}") for i in range(_N_CHAIN)]
+
+    def waiter(i):
+        yield sigs[i]
+        if i + 1 < _N_CHAIN:
+            sigs[i + 1].fire()
+
+    for i in range(_N_CHAIN):
+        eng.process(waiter(i), name=f"w{i}")
+    sigs[0].fire()
+    eng.run()
+    return eng.event_count
+
+
+def _resource_contention() -> int:
+    """FIFO resource under heavy contention (atomic-port pattern)."""
+    eng = Engine()
+    res = Resource(eng, capacity=2, name="port")
+
+    def proc():
+        for _ in range(_N_ROUNDS):
+            yield res.acquire()
+            yield Timeout(1.0)
+            res.release()
+
+    for i in range(_N_PROCS):
+        eng.process(proc(), name=f"p{i}")
+    eng.run()
+    return eng.event_count
+
+
+def _events_per_sec(benchmark, events: int) -> None:
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:  # --benchmark-disable smoke mode
+        return
+    mean = stats.stats.mean
+    if mean:
+        benchmark.extra_info["events_per_sec"] = round(events / mean)
+    benchmark.extra_info["events"] = events
+
+
+def test_bench_engine_zero_delay_resume(benchmark):
+    events = benchmark(_zero_delay_resume)
+    _events_per_sec(benchmark, events)
+
+
+def test_bench_engine_zero_delay_pingpong(benchmark):
+    events = benchmark(_zero_delay_pingpong)
+    _events_per_sec(benchmark, events)
+
+
+def test_bench_engine_signal_chain(benchmark):
+    events = benchmark(_signal_chain)
+    _events_per_sec(benchmark, events)
+
+
+def test_bench_engine_resource_contention(benchmark):
+    events = benchmark(_resource_contention)
+    _events_per_sec(benchmark, events)
+
+
+def test_bench_engine_end_to_end_fig4(benchmark):
+    """End-to-end experiment regeneration time (engine-dominated)."""
+    from benchmarks.conftest import attach_report
+    from repro.experiments.exp_sync import run_fig4
+
+    report = benchmark.pedantic(run_fig4, rounds=3, iterations=1)
+    attach_report(benchmark, report)
+    assert report.mean_rel_err < 0.05
+
+
+def test_bench_engine_end_to_end_fig5(benchmark):
+    """Grid-sync heat-map regeneration: L2 atomic Resource contention."""
+    from benchmarks.conftest import attach_report
+    from repro.experiments.exp_sync import run_fig5
+
+    report = benchmark.pedantic(run_fig5, rounds=3, iterations=1)
+    attach_report(benchmark, report)
+    assert report.mean_rel_err < 0.10

@@ -71,18 +71,14 @@ class EventApi:
         event._signal = sig
         event.recorded = True
         when = stream.pipeline_end_ns
-
-        def _complete():
-            event.complete_ns = when
-            sig.fire(when)
-
-        delay = max(0.0, when - self.rt.engine.now)
+        sig.callbacks.append(lambda _v: setattr(event, "complete_ns", when))
         if pending:
             # Resolve when the last pending kernel retires.
-            last = pending[-1]
-            last.callbacks.append(lambda _v: _complete())
+            pending[-1].callbacks.append(lambda _v: sig.fire(when))
         else:
-            self.rt.engine.schedule(delay, _complete)
+            self.rt.engine.schedule_fire(
+                max(0.0, when - self.rt.engine.now), sig, when
+            )
         return event
 
     def synchronize(self, event: CudaEvent) -> Generator:

@@ -98,12 +98,14 @@ class Stream:
             start = start_override_ns
         end = start + exec_ns
         completion = Signal(self.engine, name=f"{kernel.name}@s{self.index}.done")
-
-        def _complete(kernel=kernel, config=config, completion=completion):
-            kernel.on_complete(self.device, config)
-            completion.fire()
-
-        self.engine.schedule(end - self.engine.now, _complete)
+        # Functional side effects run as a fire callback, so the deferred
+        # completion is a plain (signal, value) record on the engine.
+        completion.callbacks.append(
+            lambda _v, kernel=kernel, config=config: kernel.on_complete(
+                self.device, config
+            )
+        )
+        self.engine.schedule_fire(end - self.engine.now, completion)
 
         self._pipeline_end_ns = end
         self._last_exec_ns = exec_ns

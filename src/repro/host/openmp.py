@@ -60,8 +60,7 @@ class OmpTeam:
         rnd = self._round(idx)
         rnd["arrived"] += 1
         if rnd["arrived"] == self.n_threads:
-            release = rnd["release"]
-            self.rt.engine.schedule(self.barrier_cost_ns, lambda: release.fire())
+            self.rt.engine.schedule_fire(self.barrier_cost_ns, rnd["release"])
             self.barriers_passed += 1
         yield rnd["release"]
 

@@ -109,10 +109,11 @@ def measure_shared_bandwidth(
     def warp_proc(threads: int) -> Generator:
         bytes_per_iter = threads * sm.element_bytes
         port_ns = spec.cycles_to_ns(bytes_per_iter / sm.sm_cap_bytes_per_cycle)
+        t_port = Timeout(port_ns)
         for _ in range(iterations):
             start = eng.now
             yield port.acquire()
-            yield Timeout(port_ns)
+            yield t_port
             port.release()
             remaining = chain_ns - (eng.now - start)
             if remaining > 0:

@@ -137,25 +137,28 @@ def simulate_grid_sync(
         for r in range(n_syncs)
     ]
 
+    # Timeouts are immutable: allocate once, yield per round (hot loop).
+    t_arrive = Timeout(arrive_ns)
+    t_release = Timeout(gs.per_warp_release_ns)
+
     def block_proc(block_id: int) -> Generator:
         sm_id = block_id % sms
         for r in range(n_syncs):
             rnd = rounds[r]
             # 1. intra-block arrive + flag write round-trip.
-            yield Timeout(arrive_ns)
+            yield t_arrive
             # 2. serialized atomic increment at L2.
             yield from l2.atomic()
             rnd["count"] += 1
             if rnd["count"] == total_blocks:
                 # 3. last arrival broadcasts the release flag.
-                release = rnd["release"]
-                eng.schedule(flag_ns, lambda release=release: release.fire())
+                eng.schedule_fire(flag_ns, rnd["release"])
             yield rnd["release"]
             # 4. warp re-dispatch, serialized per SM.
             port = release_ports[sm_id]
             for _ in range(wpb):
                 yield port.acquire()
-                yield Timeout(gs.per_warp_release_ns)
+                yield t_release
                 port.release()
 
     t0 = eng.now

@@ -11,6 +11,7 @@ yielding *yieldables*:
     A one-shot broadcast event; resume when somebody calls ``fire()``.
 ``Process``
     Resume when the target process finishes; receives its return value.
+    If the target *failed*, its exception is re-raised inside the waiter.
 ``AllOf([...])``
     Resume when every child yieldable has completed.
 ``Acquire`` (from :meth:`Resource.acquire`)
@@ -21,12 +22,28 @@ cycles and nanoseconds lives in :mod:`repro.sim.clock` so that V100 and P100
 frequency domains can coexist on one timeline (needed for the multi-GPU
 experiments where the host clock spans devices).
 
+Scheduling fast path
+--------------------
+The event loop is the hot path of the entire reproduction, so the engine
+keeps two queues:
+
+* a **ready deque** of ``(seq, target, payload)`` records for zero-delay
+  events (process resumes, immediate callbacks) — amortized O(1) per event,
+  no ``heapq`` traffic and no closure allocation;
+* a **binary heap** of ``(time, seq, target, payload)`` records for events
+  in the future.
+
+Both share one monotonically increasing sequence counter, and the run loop
+merges them by ``(time, seq)``, so FIFO ordering at equal timestamps is
+*exactly* the ordering a single heap would produce.  ``docs/engine.md``
+documents the invariants.
+
 Deadlock detection
 ------------------
 Section VIII-B of the paper observes real deadlocks when a *subset* of a grid
 or multi-grid group calls ``sync()``.  We reproduce those experiments by
-running them on the simulator and detecting quiescence: if the event heap
-drains while processes are still blocked on signals, the engine raises
+running them on the simulator and detecting quiescence: if the event queues
+drain while processes are still blocked on signals, the engine raises
 :class:`DeadlockError` naming every blocked process.  This is the simulated
 analogue of the kernel hanging on real hardware.
 """
@@ -35,7 +52,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from collections import deque
+from heapq import heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -55,7 +73,7 @@ class SimulationError(RuntimeError):
 
 
 class DeadlockError(SimulationError):
-    """Raised when the event heap drains while processes remain blocked.
+    """Raised when the event queues drain while processes remain blocked.
 
     Attributes
     ----------
@@ -72,12 +90,30 @@ class DeadlockError(SimulationError):
         super().__init__(f"simulation deadlocked; blocked processes: [{preview}]")
 
 
+class _Failure:
+    """Wrapper that carries a failed process's exception to its waiters.
+
+    When a resume record's payload is a ``_Failure`` the exception is
+    *thrown into* the waiting generator instead of being sent, so a sibling
+    yielding a crashed process sees the real error rather than hanging and
+    being misreported as a deadlock.
+    """
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
 class Timeout:
     """Yieldable that resumes the process after ``delay`` nanoseconds.
 
     ``value`` is delivered back to the generator (defaults to ``None``).
     Negative delays are rejected: simulated hardware cannot travel back in
     time, and silently clamping hides cost-model bugs.
+
+    Instances are immutable, so hot loops may allocate one ``Timeout`` and
+    yield it repeatedly.
     """
 
     __slots__ = ("delay", "value")
@@ -85,7 +121,7 @@ class Timeout:
     def __init__(self, delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative Timeout delay: {delay!r}")
-        self.delay = float(delay)
+        self.delay = delay if delay.__class__ is float else float(delay)
         self.value = value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -117,11 +153,33 @@ class Signal:
             raise SimulationError(f"signal {self.name!r} fired twice")
         self.fired = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
         for cb in self.callbacks:
             cb(value)
-        for proc in waiters:
-            self.engine._schedule_resume(proc, value)
+        if self._waiters:
+            waiters, self._waiters = self._waiters, []
+            engine = self.engine
+            ready = engine._ready
+            seq = engine._seq
+            for proc in waiters:
+                ready.append((next(seq), proc, value))
+
+    def reset(self, name: Optional[str] = None) -> "Signal":
+        """Re-arm a fired signal for another round (reusable-signal pattern).
+
+        Only legal once every waiter has been woken.  Callbacks are cleared
+        too — they already ran for the previous round, and refiring them on
+        the next round would replay stale side effects.
+        """
+        if self._waiters:
+            raise SimulationError(
+                f"cannot reset signal {self.name!r} with waiters pending"
+            )
+        self.fired = False
+        self.value = None
+        self.callbacks.clear()
+        if name is not None:
+            self.name = name
+        return self
 
     def _subscribe(self, proc: "Process") -> bool:
         """Register ``proc`` as a waiter.
@@ -148,6 +206,7 @@ class AllOf:
 
     Children may be :class:`Signal`, :class:`Process` or :class:`Timeout`
     instances.  The delivered value is the list of child values in order.
+    A failed child process re-raises its exception inside the waiter.
     """
 
     __slots__ = ("children",)
@@ -156,12 +215,18 @@ class AllOf:
         self.children = list(children)
 
 
-@dataclass
 class _Acquire:
-    """Internal yieldable produced by :meth:`Resource.acquire`."""
+    """Yieldable produced by :meth:`Resource.acquire`.
 
-    resource: "Resource"
-    signal: Signal
+    One immutable instance per resource: the grant decision happens when the
+    yieldable is dispatched, so ``yield resource.acquire()`` allocates
+    nothing on the hot path.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        self.resource = resource
 
 
 class Resource:
@@ -173,7 +238,13 @@ class Resource:
         grant = yield resource.acquire()
         yield Timeout(service_time)
         resource.release()
+
+    Waiters queue on a :class:`collections.deque` of process records, so
+    both grant and release are O(1) (the seed implementation popped a
+    Python list and allocated a fresh signal per acquire).
     """
+
+    __slots__ = ("engine", "capacity", "name", "_in_use", "_waiters", "_acquire")
 
     def __init__(self, engine: "Engine", capacity: int = 1, name: str = "resource"):
         if capacity < 1:
@@ -182,31 +253,26 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self._in_use = 0
-        self._queue: list[Signal] = []
+        self._waiters: deque[Process] = deque()
+        self._acquire = _Acquire(self)
 
     def acquire(self) -> _Acquire:
         """Return a yieldable that completes when a slot is granted."""
-        sig = Signal(self.engine, name=f"{self.name}.acquire")
-        if self._in_use < self.capacity:
-            self._in_use += 1
-            sig.fire()
-        else:
-            self._queue.append(sig)
-        return _Acquire(self, sig)
+        return self._acquire
 
     def release(self) -> None:
         """Release one slot, granting it to the oldest waiter if any."""
         if self._in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
-        if self._queue:
-            nxt = self._queue.pop(0)
-            nxt.fire()
+        if self._waiters:
+            # Hand the slot straight to the next waiter: _in_use unchanged.
+            self.engine._schedule_resume(self._waiters.popleft(), None)
         else:
             self._in_use -= 1
 
     @property
     def queue_length(self) -> int:
-        return len(self._queue)
+        return len(self._waiters)
 
     @property
     def in_use(self) -> int:
@@ -218,7 +284,9 @@ class Process:
 
     The generator's ``return`` value becomes the process result, retrievable
     by other processes that yield this process, or via :attr:`result` after
-    :meth:`Engine.run` completes.
+    :meth:`Engine.run` completes.  If the generator raises, the exception is
+    delivered to every waiter (thrown into their generators); with no
+    waiters it propagates out of :meth:`Engine.run` as before.
     """
 
     __slots__ = (
@@ -240,50 +308,113 @@ class Process:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self._completion = Signal(engine, name=f"{name}.done")
-        self._waiting_on: Optional[str] = None
+        self._waiting_on: Any = None
 
     # -- driving ---------------------------------------------------------
 
     def _step(self, send_value: Any) -> None:
         """Advance the generator by one yield, interpreting the yieldable."""
         engine = self.engine
-        try:
-            yielded = self.gen.send(send_value)
-        except StopIteration as stop:
-            self._finish(stop.value)
+        gen = self.gen
+        while True:
+            try:
+                if send_value.__class__ is _Failure:
+                    yielded = gen.throw(send_value.exc)
+                else:
+                    yielded = gen.send(send_value)
+            except StopIteration as stop:
+                self._finish(stop.value)
+                return
+            except BaseException as exc:  # propagate to waiters or run loop
+                if not self._fail(exc):
+                    raise
+                return
+            # Timeout is by far the hottest yieldable: inline it.  A pending
+            # timeout can never appear in a deadlock report (the queues are
+            # not empty), so _waiting_on is not updated on this path.
+            if yielded.__class__ is Timeout:
+                delay = yielded.delay
+                if delay == 0.0:
+                    ready = engine._ready
+                    heap = engine._heap
+                    if not ready and (not heap or heap[0][0] > engine.now):
+                        # Sole runnable event: the queued resume would be
+                        # dispatched immediately anyway, so step inline
+                        # (trampoline) and skip the queue round-trip.
+                        engine.event_count += 1
+                        if engine.trace:
+                            engine.trace_log.append(
+                                (engine.now, f"resume {self.name}")
+                            )
+                        send_value = yielded.value
+                        continue
+                    ready.append((next(engine._seq), self, yielded.value))
+                else:
+                    _heappush(
+                        engine._heap,
+                        (engine.now + delay, next(engine._seq), self, yielded.value),
+                    )
+                return
+            self._dispatch(yielded)
             return
-        except BaseException as exc:  # propagate through engine
-            self.error = exc
-            self.done = True
-            engine._live.discard(self)
-            raise
-        self._dispatch(yielded)
 
     def _dispatch(self, yielded: Any) -> None:
         engine = self.engine
-        if isinstance(yielded, Timeout):
-            self._waiting_on = f"timeout({yielded.delay})"
-            engine.schedule(yielded.delay, lambda: self._step(yielded.value))
-        elif isinstance(yielded, Signal):
-            self._waiting_on = f"signal({yielded.name})"
+        self._waiting_on = yielded
+        cls = yielded.__class__
+        if cls is Signal:
             if yielded._subscribe(self):
                 engine._schedule_resume(self, yielded.value)
-        elif isinstance(yielded, Process):
-            self._waiting_on = f"process({yielded.name})"
+        elif cls is Process:
             if yielded.done:
-                engine._schedule_resume(self, yielded.result)
-            elif yielded._completion._subscribe(self):
-                engine._schedule_resume(self, yielded._completion.value)
-        elif isinstance(yielded, _Acquire):
-            self._waiting_on = f"acquire({yielded.resource.name})"
-            if yielded.signal._subscribe(self):
+                if yielded.error is not None:
+                    engine._schedule_resume(self, _Failure(yielded.error))
+                else:
+                    engine._schedule_resume(self, yielded.result)
+            else:
+                yielded._completion._waiters.append(self)
+        elif cls is _Acquire:
+            res = yielded.resource
+            if res._in_use < res.capacity:
+                res._in_use += 1
                 engine._schedule_resume(self, None)
-        elif isinstance(yielded, AllOf):
+            else:
+                res._waiters.append(self)
+        elif cls is AllOf:
             self._wait_all(yielded)
+        elif isinstance(yielded, (Timeout, Signal, Process, _Acquire, AllOf)):
+            # Subclass of a yieldable: take the generic (isinstance) path.
+            self._dispatch_slow(yielded)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported object {yielded!r}"
             )
+
+    def _dispatch_slow(self, yielded: Any) -> None:
+        """Generic dispatch for yieldable *subclasses* (rare)."""
+        engine = self.engine
+        if isinstance(yielded, Timeout):
+            engine._schedule_proc(yielded.delay, self, yielded.value)
+        elif isinstance(yielded, Signal):
+            if yielded._subscribe(self):
+                engine._schedule_resume(self, yielded.value)
+        elif isinstance(yielded, Process):
+            if yielded.done:
+                if yielded.error is not None:
+                    engine._schedule_resume(self, _Failure(yielded.error))
+                else:
+                    engine._schedule_resume(self, yielded.result)
+            else:
+                yielded._completion._waiters.append(self)
+        elif isinstance(yielded, _Acquire):
+            res = yielded.resource
+            if res._in_use < res.capacity:
+                res._in_use += 1
+                engine._schedule_resume(self, None)
+            else:
+                res._waiters.append(self)
+        else:  # AllOf subclass
+            self._wait_all(yielded)
 
     def _wait_all(self, allof: AllOf) -> None:
         engine = self.engine
@@ -297,6 +428,12 @@ class Process:
         def make_cb(i: int) -> Callable[[Any], None]:
             def cb(value: Any) -> None:
                 nonlocal remaining
+                if remaining <= 0:
+                    return
+                if value.__class__ is _Failure:
+                    remaining = -1  # first failure wins; ignore the rest
+                    engine._schedule_resume(self, value)
+                    return
                 values[i] = value
                 remaining -= 1
                 if remaining == 0:
@@ -304,7 +441,6 @@ class Process:
 
             return cb
 
-        self._waiting_on = f"allof({len(children)})"
         for i, child in enumerate(children):
             cb = make_cb(i)
             if isinstance(child, Signal):
@@ -314,7 +450,10 @@ class Process:
                     child.callbacks.append(cb)
             elif isinstance(child, Process):
                 if child.done:
-                    cb(child.result)
+                    if child.error is not None:
+                        cb(_Failure(child.error))
+                    else:
+                        cb(child.result)
                 else:
                     child._completion.callbacks.append(cb)
             elif isinstance(child, Timeout):
@@ -329,13 +468,78 @@ class Process:
         self.engine._live.discard(self)
         self._completion.fire(value)
 
+    def _fail(self, exc: BaseException) -> bool:
+        """Record failure and notify observers.
+
+        Returns ``True`` when at least one waiter or callback received the
+        error; with no observers the caller re-raises so unobserved failures
+        still abort :meth:`Engine.run` (the seed behaviour).
+        """
+        self.error = exc
+        self.done = True
+        self._waiting_on = None
+        self.engine._live.discard(self)
+        comp = self._completion
+        failure = _Failure(exc)
+        # Mark completion as resolved-with-failure so late subscribers (via
+        # _dispatch's done-process path) see the error too.
+        comp.fired = True
+        comp.value = failure
+        notified = False
+        for cb in comp.callbacks:
+            cb(failure)
+            notified = True
+        if comp._waiters:
+            waiters, comp._waiters = comp._waiters, []
+            for proc in waiters:
+                self.engine._schedule_resume(proc, failure)
+            notified = True
+        return notified
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "done" if self.done else (self._waiting_on or "ready")
+        state = "done" if self.done else _describe_wait(self._waiting_on)
         return f"Process({self.name!r}, {state})"
 
 
+def _describe_wait(waiting_on: Any) -> str:
+    """Human-readable description of what a process is blocked on.
+
+    The hot path stores the yieldable object itself (no f-string per
+    dispatch); this formats it lazily for deadlock reports and ``repr``.
+    """
+    if waiting_on is None:
+        return "ready"
+    if isinstance(waiting_on, Timeout):
+        return f"timeout({waiting_on.delay})"
+    if isinstance(waiting_on, Signal):
+        return f"signal({waiting_on.name})"
+    if isinstance(waiting_on, Process):
+        return f"process({waiting_on.name})"
+    if isinstance(waiting_on, _Acquire):
+        return f"acquire({waiting_on.resource.name})"
+    if isinstance(waiting_on, AllOf):
+        return f"allof({len(waiting_on.children)})"
+    return repr(waiting_on)
+
+
+def _describe_event(target: Any, payload: Any) -> str:
+    """Trace-log description of one event record."""
+    if target is None:
+        return getattr(payload, "__qualname__", repr(payload))
+    if isinstance(target, Process):
+        return f"resume {target.name}"
+    return f"fire {target.name}"
+
+
 class Engine:
-    """Heap-scheduled discrete-event simulator.
+    """Ready-queue + heap scheduled discrete-event simulator.
+
+    Zero-delay events (the dominant class: every process resume) go on a
+    FIFO deque; future events go on a binary heap.  A shared sequence
+    counter lets the run loop merge both queues with exact FIFO-at-equal-
+    time semantics.  Events are ``(target, payload)`` records — a
+    :class:`Process` to resume, a :class:`Signal` to fire, or a bare
+    callable — so the loop allocates no closures.
 
     Parameters
     ----------
@@ -347,7 +551,8 @@ class Engine:
 
     def __init__(self, trace: bool = False):
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Any, Any]] = []
+        self._ready: deque[tuple[int, Any, Any]] = deque()
         self._seq = itertools.count()
         self._live: set[Process] = set()
         self.trace = trace
@@ -360,10 +565,39 @@ class Engine:
         """Run ``fn`` after ``delay`` ns (FIFO-ordered at equal times)."""
         if delay < 0:
             raise ValueError(f"negative schedule delay: {delay!r}")
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn))
+        if delay == 0.0:
+            self._ready.append((next(self._seq), None, fn))
+        else:
+            heapq.heappush(
+                self._heap, (self.now + delay, next(self._seq), None, fn)
+            )
+
+    def schedule_fire(self, delay: float, signal: Signal, value: Any = None) -> None:
+        """Fire ``signal(value)`` after ``delay`` ns without a closure.
+
+        Replaces the ``schedule(d, lambda: sig.fire())`` pattern used by
+        barrier protocols; the record is dispatched straight from the run
+        loop.
+        """
+        if delay < 0:
+            raise ValueError(f"negative schedule delay: {delay!r}")
+        if delay == 0.0:
+            self._ready.append((next(self._seq), signal, value))
+        else:
+            heapq.heappush(
+                self._heap, (self.now + delay, next(self._seq), signal, value)
+            )
+
+    def _schedule_proc(self, delay: float, proc: Process, value: Any) -> None:
+        if delay == 0.0:
+            self._ready.append((next(self._seq), proc, value))
+        else:
+            heapq.heappush(
+                self._heap, (self.now + delay, next(self._seq), proc, value)
+            )
 
     def _schedule_resume(self, proc: Process, value: Any) -> None:
-        self.schedule(0.0, lambda: proc._step(value))
+        self._ready.append((next(self._seq), proc, value))
 
     def signal(self, name: str = "signal") -> Signal:
         """Create a new :class:`Signal` bound to this engine."""
@@ -377,7 +611,7 @@ class Engine:
         """Register ``gen`` as a process and schedule its first step now."""
         proc = Process(self, gen, name=name)
         self._live.add(proc)
-        self.schedule(0.0, lambda: proc._step(None))
+        self._ready.append((next(self._seq), proc, None))
         return proc
 
     # -- execution -------------------------------------------------------
@@ -387,7 +621,7 @@ class Engine:
         until: Optional[float] = None,
         detect_deadlock: bool = True,
     ) -> float:
-        """Drain the event heap.
+        """Drain the event queues.
 
         Parameters
         ----------
@@ -395,7 +629,7 @@ class Engine:
             Stop once simulated time would exceed this bound (the pending
             event is left on the heap).  ``None`` runs to quiescence.
         detect_deadlock:
-            When the heap drains with live processes still blocked, raise
+            When the queues drain with live processes still blocked, raise
             :class:`DeadlockError` (the Section VIII-B behaviour).  Disable
             for open-ended servers that legitimately idle.
 
@@ -405,20 +639,49 @@ class Engine:
             Simulated time when the run stopped.
         """
         heap = self._heap
-        while heap:
-            time, _seq, fn = heap[0]
-            if until is not None and time > until:
-                self.now = until
-                return self.now
-            heapq.heappop(heap)
-            self.now = time
-            self.event_count += 1
-            if self.trace:
-                self.trace_log.append((time, getattr(fn, "__qualname__", repr(fn))))
-            fn()
+        ready = self._ready
+        heappop = heapq.heappop
+        trace = self.trace
+        now = self.now
+        count = 0
+        try:
+            while True:
+                # Merge the two queues by (time, seq): a heap event belongs
+                # before the ready head only if it is at the *current* time
+                # and was scheduled earlier.
+                if ready:
+                    if heap:
+                        head = heap[0]
+                        use_heap = head[0] <= now and head[1] < ready[0][0]
+                    else:
+                        use_heap = False
+                elif heap:
+                    use_heap = True
+                else:
+                    break
+                if use_heap:
+                    if until is not None and heap[0][0] > until:
+                        self.now = until
+                        return self.now
+                    now, _seq, target, payload = heappop(heap)
+                    self.now = now
+                else:
+                    _seq, target, payload = ready.popleft()
+                count += 1
+                if trace:
+                    self.trace_log.append((now, _describe_event(target, payload)))
+                if target.__class__ is Process:
+                    target._step(payload)
+                elif target is None:
+                    payload()
+                else:
+                    target.fire(payload)
+        finally:
+            self.event_count += count
         if detect_deadlock and self._live:
             blocked = sorted(
-                f"{p.name} waiting on {p._waiting_on}" for p in self._live
+                f"{p.name} waiting on {_describe_wait(p._waiting_on)}"
+                for p in self._live
             )
             raise DeadlockError(blocked)
         return self.now
@@ -438,12 +701,17 @@ class Engine:
         return proc.result
 
     @property
+    def pending_count(self) -> int:
+        """Events waiting in either queue (ready deque + heap)."""
+        return len(self._ready) + len(self._heap)
+
+    @property
     def live_processes(self) -> list[Process]:
         """Processes that have been started but not yet finished."""
         return list(self._live)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Engine(now={self.now:.1f}ns, pending={len(self._heap)}, "
+            f"Engine(now={self.now:.1f}ns, pending={self.pending_count}, "
             f"live={len(self._live)})"
         )

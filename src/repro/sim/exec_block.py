@@ -60,8 +60,7 @@ class BlockBarrier:
         rnd["arrived"] += 1
         if rnd["arrived"] == self.nthreads:
             self.shared.commit()
-            release = rnd["release"]
-            self.engine.schedule(self.latency_ns, lambda: release.fire())
+            self.engine.schedule_fire(self.latency_ns, rnd["release"])
             self.rounds_completed += 1
         yield rnd["release"]
 
@@ -74,6 +73,7 @@ class BlockExecutor:
         spec: GPUSpec,
         nthreads: int = 128,
         shared_slots: int = 1024,
+        simt_fast_path: bool = True,
     ):
         if not (1 <= nthreads <= spec.max_threads_per_block):
             raise ValueError(
@@ -95,6 +95,7 @@ class BlockExecutor:
                     shared=self.shared,
                     tid_offset=offset,
                     block_barrier=self.barrier,
+                    simt_fast_path=simt_fast_path,
                 )
             )
 

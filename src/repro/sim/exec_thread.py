@@ -20,6 +20,24 @@ objects so that a program can sync in a loop: each thread's n-th arrival at
 a group joins round n.  On Pascal the rendezvous is bypassed entirely — the
 instruction costs one cycle, commits the thread's pending shared-memory
 writes (a fence, per Section VII-C) and does not wait.
+
+Converged-warp fast path
+------------------------
+Real SIMT hardware issues one instruction for all 32 lanes of a converged
+warp; simulating 32 engine processes for that case multiplies every event
+by the warp width for no modelling benefit.  When ``simt_fast_path`` is on
+(the default) the executor drives the whole warp as *one* engine process
+that steps every thread's program generator in lockstep.  As long as each
+round's instructions are uniform (same instruction class, identical
+analytic latency) the round costs a single ``Timeout`` and the per-thread
+effects (shared-memory traffic, clock reads) are applied in tid order at
+the same engine time the thread-precise simulation would use.  The first
+round that is *not* uniform-analytic — a :class:`Diverge`, a blocking
+(Volta) warp barrier, a shuffle, or ``__syncthreads`` — permanently hands
+each thread over to its own engine process, pending instruction included,
+so rendezvous arrival order, issue-port serialization and Pascal shuffle
+staleness are bit-identical to thread-precise mode (see
+``tests/sim/test_exec_thread.py``'s property test).
 """
 
 from __future__ import annotations
@@ -147,6 +165,7 @@ class WarpExecutor:
         shared: Optional[SharedMemory] = None,
         tid_offset: int = 0,
         block_barrier: Optional["BlockBarrier"] = None,
+        simt_fast_path: bool = True,
     ):
         if not (1 <= nthreads <= spec.warp_size):
             raise ValueError(
@@ -159,6 +178,7 @@ class WarpExecutor:
         self.shared = shared if shared is not None else SharedMemory(shared_slots)
         self.tid_offset = tid_offset
         self.block_barrier = block_barrier
+        self.simt_fast_path = simt_fast_path
         self.issue_port = Resource(self.engine, capacity=1, name="warp-issue")
         self._boards: Dict[Tuple, _GroupBoard] = {}
         self._round_counters: Dict[Tuple[int, Tuple], int] = {}
@@ -239,7 +259,8 @@ class WarpExecutor:
         latency = self._sync_latency_cycles(op.kind, len(members))
         if not self.spec.warp_sync.blocking:
             # Pascal: fence semantics only (Section VIII-A / VII-C).
-            self.shared.commit_thread(tid)
+            # Pending writes are keyed by the block-global tid.
+            self.shared.commit_thread(self.tid_offset + tid)
             yield from self._exec_simple(latency)
             return
         key = ("sync", op.kind, members)
@@ -249,10 +270,7 @@ class WarpExecutor:
         rnd.last_arrival_ns = self.engine.now
         if rnd.arrived == rnd.expected:
             self.shared.commit()
-            release = rnd.release
-            self.engine.schedule(
-                self.spec.cycles_to_ns(latency), lambda: release.fire()
-            )
+            self.engine.schedule_fire(self.spec.cycles_to_ns(latency), rnd.release)
         yield rnd.release
 
     def _exec_shuffle(self, tid: int, op: ins.ShuffleDown) -> Generator:
@@ -272,9 +290,8 @@ class WarpExecutor:
         if self.spec.warp_sync.blocking:
             # Volta: shuffle implies synchronization of the group.
             if rnd.arrived == rnd.expected:
-                release = rnd.release
-                self.engine.schedule(
-                    self.spec.cycles_to_ns(latency), lambda: release.fire()
+                self.engine.schedule_fire(
+                    self.spec.cycles_to_ns(latency), rnd.release
                 )
             yield rnd.release
             value = rnd.posted[src] if in_range else op.value
@@ -307,10 +324,7 @@ class WarpExecutor:
         rnd.arrived += 1
         if rnd.arrived == rnd.expected:
             self.shared.commit()
-            release = rnd.release
-            self.engine.schedule(
-                self.spec.cycles_to_ns(latency), lambda: release.fire()
-            )
+            self.engine.schedule_fire(self.spec.cycles_to_ns(latency), rnd.release)
         yield rnd.release
 
     def _interpret(self, tid: int, op: ins.Instruction) -> Generator:
@@ -364,6 +378,192 @@ class WarpExecutor:
             raise SimulationError(f"unknown instruction {op!r}")
         return None
 
+    # -- converged-warp fast path ---------------------------------------------
+
+    def _fast_latency_ns(self, tid: int, op: ins.Instruction) -> Optional[float]:
+        """Analytic latency of ``op`` if it is fast-path eligible, else None.
+
+        Eligible instructions are exactly those the thread-precise
+        interpreter handles with a pure ``Timeout`` (no cross-thread
+        serialization): the ``_exec_simple`` family, ``nanosleep`` and the
+        non-blocking Pascal warp sync.  ``Diverge``, blocking (Volta) warp
+        barriers, shuffles and ``__syncthreads`` return None and force the
+        fallback to thread-precise simulation.
+        """
+        spec = self.spec
+        ic = spec.instructions
+        cls = op.__class__
+        if cls is ins.Compute:
+            cycles = op.cycles
+        elif cls is ins.FAdd:
+            cycles = ic.fadd * op.count
+        elif cls is ins.DAdd:
+            cycles = ic.dadd * op.count
+        elif cls is ins.ChainStep:
+            cycles = spec.shared_mem.chain_latency_cycles * op.count
+        elif cls is ins.MethodOverhead:
+            cycles = op.cycles
+        elif cls is ins.ReadClock:
+            cycles = ic.timer_read
+        elif cls is ins.SharedLoad:
+            cycles = ic.shared_ld
+        elif cls is ins.SharedStore:
+            cycles = ic.shared_st
+        elif cls is ins.Nanosleep:
+            if not spec.has_nanosleep:
+                raise UnsupportedInstruction(
+                    f"nanosleep is not available on {spec.name} "
+                    "(Volta-only instruction, Section IX-B)"
+                )
+            return op.ns
+        elif cls is ins.WarpSync:
+            if spec.warp_sync.blocking:
+                return None  # Volta barrier: rendezvous required
+            members = self._group_members(tid, op.kind, op.group_size, op.mask)
+            cycles = self._sync_latency_cycles(op.kind, len(members))
+        else:
+            return None
+        return spec.cycles_to_ns(cycles)
+
+    def _retire_fast(
+        self, ctx: ThreadCtx, value: Any, result: WarpRunResult
+    ) -> None:
+        gtid = ctx.tid
+        result.returns[gtid] = value
+        result.end_ns[gtid] = self.engine.now
+        result.records[gtid] = ctx.records
+
+    def _fast_warp_proc(
+        self,
+        program: Callable[[ThreadCtx], Generator],
+        result: WarpRunResult,
+    ) -> Generator:
+        """Drive the whole warp as one process while it stays converged.
+
+        Each round replays, per live thread *in tid order*, exactly what a
+        thread-precise step event does at this timestamp: apply the
+        post-latency effect of the instruction that just completed (clock
+        read, shared-memory access), advance the program generator, and
+        apply the next instruction's dispatch-time effect (the Pascal
+        warp-sync fence commit).  If every live thread's next instruction
+        is analytic with one common latency, the round then costs a single
+        ``Timeout`` instead of ``nthreads`` heap events.  The first round
+        that is not uniform-analytic spawns one engine process per thread
+        (pending instruction included) and the warp continues
+        thread-precise forever.
+        """
+        engine = self.engine
+        shared = self.shared
+        off = self.tid_offset
+        n = self.nthreads
+        now = engine.now
+        ctxs = [ThreadCtx(self, i) for i in range(n)]
+        gens: List[Generator] = []
+        for ctx in ctxs:
+            result.start_ns[ctx.tid] = now
+            gens.append(program(ctx))
+        ops: List[Any] = [None] * n
+        lat_ns: List[Optional[float]] = [0.0] * n
+        pre_done: List[bool] = [False] * n
+        live = list(range(n))
+        while live:
+            survivors = []
+            for i in live:
+                op = ops[i]
+                # Post-latency effect of the instruction completed last
+                # round (the thread-precise interpreter applies it after
+                # its Timeout, inside the same step event that fetches and
+                # dispatches the next instruction).
+                if op is None:
+                    value: Any = None
+                else:
+                    cls = op.__class__
+                    if cls is ins.ReadClock:
+                        value = self.clock.read()
+                    elif cls is ins.SharedLoad:
+                        value = shared.load(off + i, op.slot, volatile=op.volatile)
+                    elif cls is ins.SharedStore:
+                        shared.store(off + i, op.slot, op.value, volatile=op.volatile)
+                        value = None
+                    else:
+                        value = None
+                try:
+                    nxt = gens[i].send(value)
+                except StopIteration as stop:
+                    self._retire_fast(ctxs[i], stop.value, result)
+                    continue
+                survivors.append(i)
+                ops[i] = nxt
+                lat_ns[i] = lat = self._fast_latency_ns(i, nxt)
+                # Dispatch-time effect: the non-blocking (Pascal) warp sync
+                # commits this thread's pending writes *now*, before later
+                # threads' effects at this timestamp — bit-identical to the
+                # precise interpreter.
+                if nxt.__class__ is ins.WarpSync and lat is not None:
+                    shared.commit_thread(off + i)
+                    pre_done[i] = True
+                else:
+                    pre_done[i] = False
+            live = survivors
+            if not live:
+                return
+            latency = lat_ns[live[0]]
+            uniform = latency is not None
+            if uniform:
+                for i in live[1:]:
+                    if lat_ns[i] != latency:
+                        uniform = False
+                        break
+            if not uniform:
+                # Divergence (or a rendezvous instruction): hand every
+                # thread to its own process, in tid order so rendezvous
+                # arrivals and issue-port grants match thread-precise mode.
+                for i in live:
+                    op = ops[i]
+                    if pre_done[i]:
+                        # Fence already committed above; only the latency
+                        # of the sync remains.
+                        members = self._group_members(
+                            i, op.kind, op.group_size, op.mask
+                        )
+                        first = self._exec_simple(
+                            self._sync_latency_cycles(op.kind, len(members))
+                        )
+                    else:
+                        first = self._interpret(i, op)
+                    engine.process(
+                        self._resume_thread(i, gens[i], first, ctxs[i], result),
+                        name=f"t{off + i}",
+                    )
+                return
+            if latency > 0.0:
+                yield Timeout(latency)
+
+    def _resume_thread(
+        self,
+        tid_local: int,
+        gen: Generator,
+        first_interp: Generator,
+        ctx: ThreadCtx,
+        result: WarpRunResult,
+    ) -> Generator:
+        """Thread-precise continuation of one lane after fast-path fallback.
+
+        ``first_interp`` is the (possibly partially applied) interpretation
+        of the instruction that triggered the fallback.
+        """
+        gtid = ctx.tid
+        try:
+            value = yield from first_interp
+            while True:
+                op = gen.send(value)
+                value = yield from self._interpret(tid_local, op)
+        except StopIteration as stop:
+            result.returns[gtid] = stop.value
+        result.end_ns[gtid] = self.engine.now
+        result.records[gtid] = ctx.records
+        return result.returns.get(gtid)
+
     # -- running --------------------------------------------------------------
 
     def _thread_proc(
@@ -392,10 +592,12 @@ class WarpExecutor:
         program: Callable[[ThreadCtx], Generator],
         result: Optional[WarpRunResult] = None,
     ) -> WarpRunResult:
-        """Spawn every thread process without driving the engine.
+        """Spawn the warp's processes without driving the engine.
 
         Used by :class:`~repro.sim.exec_block.BlockExecutor`, which owns
-        the engine and starts several warps before running.
+        the engine and starts several warps before running.  With the SIMT
+        fast path enabled this spawns a single lockstep warp process;
+        otherwise one process per thread.
         """
         if result is None:
             result = WarpRunResult(
@@ -408,6 +610,12 @@ class WarpExecutor:
                 shared=self.shared,
                 shuffle_incorrect=False,
             )
+        if self.simt_fast_path:
+            self.engine.process(
+                self._fast_warp_proc(program, result),
+                name=f"warp@{self.tid_offset}",
+            )
+            return result
         for tid_local in range(self.nthreads):
             self.engine.process(
                 self._thread_proc(tid_local, program, result),

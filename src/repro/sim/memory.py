@@ -23,7 +23,7 @@ from typing import List, Optional, Set
 import numpy as np
 
 from repro.sim.arch import GPUSpec, HBMCalib
-from repro.sim.engine import Engine, Resource
+from repro.sim.engine import Engine, Resource, Timeout
 
 __all__ = ["SharedMemory", "L2AtomicUnit", "HBM", "DeviceBuffer", "RaceRecord"]
 
@@ -143,6 +143,7 @@ class L2AtomicUnit:
         self.engine = engine
         self.service_ns = float(service_ns)
         self.port = Resource(engine, capacity=1, name=name)
+        self._service = Timeout(self.service_ns)
         self.ops = 0
 
     def atomic(self):
@@ -153,9 +154,7 @@ class L2AtomicUnit:
             yield from l2.atomic()
         """
         yield self.port.acquire()
-        from repro.sim.engine import Timeout  # local import avoids cycle at module load
-
-        yield Timeout(self.service_ns)
+        yield self._service
         self.ops += 1
         self.port.release()
 

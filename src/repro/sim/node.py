@@ -188,20 +188,22 @@ def simulate_multigrid_sync(
         for r in range(n_syncs)
     ]
 
+    t_arrive = Timeout(arrive_ns)
+    t_release_local = Timeout(release_local_ns)
+
     def gpu_proc(gid: int) -> Generator:
         for r in range(n_syncs):
             rnd = rounds[r]
-            yield Timeout(arrive_ns)
+            yield t_arrive
             if not full_local_participation:
                 # A block inside this GPU never arrived: the local grid
                 # phase can never finish, so this GPU never reports.
                 yield Signal(eng, name=f"gpu{gid}-stuck-local")
             rnd["count"] += 1
             if rnd["count"] == len(ids):
-                release = rnd["release"]
-                eng.schedule(cross_ns, lambda release=release: release.fire())
+                eng.schedule_fire(cross_ns, rnd["release"])
             yield rnd["release"]
-            yield Timeout(release_local_ns)
+            yield t_release_local
 
     t0 = eng.now
     for gid in sorted(callers):

@@ -107,6 +107,7 @@ def simulate_block_sync(
 
     service_ns = spec.cycles_to_ns(spec.block_sync.per_warp_service_cycles)
     latency_ns = spec.cycles_to_ns(block_sync_latency_cycles(spec, warps_per_block))
+    t_service = Timeout(service_ns)  # immutable: reused across every yield
 
     def block_proc() -> Generator:
         yield slots.acquire()
@@ -114,7 +115,7 @@ def simulate_block_sync(
             round_start = eng.now
             for _ in range(warps_per_block):
                 yield barrier_unit.acquire()
-                yield Timeout(service_ns)
+                yield t_service
                 barrier_unit.release()
             remaining = latency_ns - (eng.now - round_start)
             if remaining > 0:
@@ -193,14 +194,16 @@ def simulate_warp_sync_throughput(
     pipe = Resource(eng, capacity=1, name="warp-sync-pipe")
     ii_ns = spec.cycles_to_ns(ii_cy)
     tail_ns = spec.cycles_to_ns(max(0.0, latency_cy - ii_cy))
+    t_ii = Timeout(ii_ns)
+    t_tail = Timeout(tail_ns) if tail_ns else None
 
     def warp_proc() -> Generator:
         for _ in range(repeats):
             yield pipe.acquire()
-            yield Timeout(ii_ns)
+            yield t_ii
             pipe.release()
-            if tail_ns:
-                yield Timeout(tail_ns)
+            if t_tail is not None:
+                yield t_tail
 
     t0 = eng.now
     for w in range(n_warps):

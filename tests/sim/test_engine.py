@@ -365,6 +365,332 @@ class TestResources:
         assert active[0] == 0
 
 
+class TestReadyQueueFifo:
+    """The zero-delay ready deque must merge with the heap in exact
+    FIFO-at-equal-time order (the seed engine's single-heap semantics)."""
+
+    def test_heap_event_at_same_time_scheduled_earlier_runs_first(self):
+        eng = Engine()
+        order = []
+
+        def first():
+            order.append("a")
+            # Zero-delay event created at t=5: must run *after* the heap
+            # event below, which was scheduled before it.
+            eng.schedule(0.0, lambda: order.append("c"))
+
+        eng.schedule(5.0, first)
+        eng.schedule(5.0, lambda: order.append("b"))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_zero_delay_runs_before_later_heap_event(self):
+        eng = Engine()
+        order = []
+        eng.schedule(0.0, lambda: order.append("ready"))
+        eng.schedule(1.0, lambda: order.append("heap"))
+        eng.run()
+        assert order == ["ready", "heap"]
+
+    def test_zero_delay_processes_interleave_round_robin(self):
+        """Multiple runnable processes step in FIFO rounds, never
+        run-to-completion (guards the _step trampoline's guard)."""
+        eng = Engine()
+        order = []
+
+        def proc(i):
+            for step in range(3):
+                order.append((i, step))
+                yield Timeout(0.0)
+
+        for i in range(3):
+            eng.process(proc(i), name=f"p{i}")
+        eng.run()
+        assert order == [(i, s) for s in range(3) for i in range(3)]
+
+    def test_mixed_fn_and_process_events_fifo(self):
+        eng = Engine()
+        order = []
+
+        def proc():
+            order.append("proc-step0")
+            yield Timeout(0.0)
+            order.append("proc-step1")
+
+        eng.process(proc(), name="p")
+        eng.schedule(0.0, lambda: order.append("fn0"))
+        eng.run()
+        assert order == ["proc-step0", "fn0", "proc-step1"]
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from([0.0, 1.0, 2.0]), st.integers(0, 99)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equal_time_events_preserve_schedule_order(self, events):
+        eng = Engine()
+        seen = []
+        for delay, tag in events:
+            eng.schedule(delay, lambda d=delay, t=tag: seen.append((d, t)))
+        eng.run()
+        expected = sorted(
+            [(d, t) for d, t in events],
+            key=lambda pair: pair[0],
+        )
+        # Python's sort is stable, so equal-time events keep schedule order.
+        assert seen == expected
+
+    def test_pending_count_spans_both_queues(self):
+        eng = Engine()
+        eng.schedule(0.0, lambda: None)
+        eng.schedule(5.0, lambda: None)
+        assert eng.pending_count == 2
+        eng.run()
+        assert eng.pending_count == 0
+
+
+class TestScheduleFire:
+    def test_fire_after_delay_delivers_value(self):
+        eng = Engine()
+        sig = eng.signal("s")
+        got = []
+
+        def waiter():
+            got.append((yield sig))
+
+        eng.process(waiter(), name="w")
+        eng.schedule_fire(4.0, sig, "payload")
+        eng.run()
+        assert got == ["payload"]
+        assert eng.now == 4.0
+
+    def test_zero_delay_fire(self):
+        eng = Engine()
+        sig = eng.signal("s")
+        eng.schedule_fire(0.0, sig, 7)
+        eng.run()
+        assert sig.fired and sig.value == 7
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            eng.schedule_fire(-1.0, eng.signal("s"))
+
+    def test_signal_reset_rearms(self):
+        eng = Engine()
+        sig = eng.signal("s")
+        sig.fire(1)
+        sig.reset()
+        assert not sig.fired
+        sig.fire(2)
+        assert sig.value == 2
+
+    def test_signal_reset_with_waiters_rejected(self):
+        eng = Engine()
+        sig = eng.signal("s")
+
+        def waiter():
+            yield sig
+
+        eng.process(waiter(), name="w")
+        eng.schedule(1.0, lambda: None)
+        eng.run(until=0.5, detect_deadlock=False)
+        with pytest.raises(SimulationError, match="reset"):
+            sig.reset()
+        sig.fire()
+        eng.run()
+
+
+class TestProcessFailure:
+    """A raising process must unblock its waiters with the real error
+    instead of leaving them hanging (previously misreported as deadlock)."""
+
+    def test_waiter_sees_child_exception(self):
+        eng = Engine()
+
+        def child():
+            yield Timeout(1.0)
+            raise RuntimeError("boom")
+
+        def parent():
+            c = eng.process(child(), name="child")
+            try:
+                yield c
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        assert eng.run_process(parent()) == "caught boom"
+
+    def test_uncaught_child_error_propagates_not_deadlock(self):
+        eng = Engine()
+
+        def child():
+            yield Timeout(1.0)
+            raise ValueError("bad")
+
+        def parent():
+            yield eng.process(child(), name="child")
+
+        with pytest.raises(ValueError, match="bad"):
+            eng.run_process(parent())
+
+    def test_error_with_no_waiters_still_aborts_run(self):
+        eng = Engine()
+
+        def lonely():
+            yield Timeout(1.0)
+            raise KeyError("alone")
+
+        eng.process(lonely(), name="lonely")
+        with pytest.raises(KeyError):
+            eng.run()
+
+    def test_yielding_already_failed_process_raises(self):
+        eng = Engine()
+
+        def child():
+            yield Timeout(1.0)
+            raise RuntimeError("early")
+
+        def parent():
+            c = eng.process(child(), name="child")
+            try:
+                yield c
+            except RuntimeError:
+                pass
+            yield Timeout(10.0)
+            try:
+                yield c  # already failed: error delivered again
+            except RuntimeError:
+                return "again"
+
+        assert eng.run_process(parent()) == "again"
+
+    def test_allof_propagates_child_failure(self):
+        eng = Engine()
+
+        def ok():
+            yield Timeout(5.0)
+            return "fine"
+
+        def bad():
+            yield Timeout(1.0)
+            raise RuntimeError("allof-child")
+
+        def parent():
+            kids = [eng.process(ok(), name="ok"), eng.process(bad(), name="bad")]
+            try:
+                yield AllOf(kids)
+            except RuntimeError as exc:
+                return str(exc)
+
+        assert eng.run_process(parent()) == "allof-child"
+
+    def test_failed_process_records_error_attribute(self):
+        eng = Engine()
+
+        def child():
+            yield Timeout(1.0)
+            raise RuntimeError("attr")
+
+        def parent():
+            c = eng.process(child(), name="child")
+            try:
+                yield c
+            except RuntimeError:
+                return c
+
+        proc = eng.run_process(parent())
+        assert proc.done and isinstance(proc.error, RuntimeError)
+
+    def test_sibling_chain_propagates(self):
+        """Error crosses two levels of waiting processes."""
+        eng = Engine()
+
+        def leaf():
+            yield Timeout(1.0)
+            raise RuntimeError("leaf")
+
+        def middle():
+            yield eng.process(leaf(), name="leaf")
+
+        def top():
+            try:
+                yield eng.process(middle(), name="middle")
+            except RuntimeError as exc:
+                return f"top saw {exc}"
+
+        assert eng.run_process(top()) == "top saw leaf"
+
+
+class TestResourceContention:
+    def test_grant_order_under_contention_capacity_two(self):
+        eng = Engine()
+        res = eng.resource(2, "r")
+        order = []
+
+        def proc(i):
+            yield res.acquire()
+            order.append(i)
+            yield Timeout(10.0)
+            res.release()
+
+        for i in range(6):
+            eng.process(proc(i), name=f"p{i}")
+        eng.run()
+        assert order == [0, 1, 2, 3, 4, 5]
+
+    def test_slot_transfers_to_waiter_without_in_use_dip(self):
+        eng = Engine()
+        res = eng.resource(1, "r")
+        snapshots = []
+
+        def holder():
+            yield res.acquire()
+            yield Timeout(5.0)
+            res.release()
+            snapshots.append(("after-release", res.in_use, res.queue_length))
+
+        def waiter():
+            yield res.acquire()
+            snapshots.append(("granted", res.in_use, res.queue_length))
+            res.release()
+
+        eng.process(holder(), name="h")
+        eng.process(waiter(), name="w")
+        eng.run()
+        # The slot moves directly holder -> waiter: in_use never dips to 0
+        # between release and grant.
+        assert snapshots == [("after-release", 1, 0), ("granted", 1, 0)]
+
+    def test_release_wakes_in_fifo_even_with_interleaved_acquires(self):
+        eng = Engine()
+        res = eng.resource(1, "r")
+        order = []
+
+        def early(i):
+            yield res.acquire()
+            order.append(i)
+            yield Timeout(2.0)
+            res.release()
+
+        def late(i):
+            yield Timeout(1.0)
+            yield res.acquire()
+            order.append(i)
+            yield Timeout(2.0)
+            res.release()
+
+        eng.process(early(0), name="e0")
+        eng.process(early(1), name="e1")
+        eng.process(late(2), name="l2")
+        eng.run()
+        assert order == [0, 1, 2]
+
+
 class TestDeadlockDetection:
     def test_blocked_process_raises_deadlock(self):
         eng = Engine()

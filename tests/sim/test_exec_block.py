@@ -154,3 +154,68 @@ class TestFig12ThreadPrecise:
         r = BlockExecutor(v100, nthreads=nthreads).run(program)
         assert r.records[0]["sum"] == pytest.approx(data.sum())
         assert not r.shared.race_detected
+
+
+class TestBlockFastPathEquivalence:
+    """Block-level reductions must be bit-identical with the converged-warp
+    fast path on and off (the __syncthreads rendezvous always falls back)."""
+
+    def test_block_reduce_identical(self, spec):
+        block_threads = 64
+
+        def program(ctx):
+            yield ins.SharedStore(slot=ctx.tid, value=float(ctx.tid))
+            yield ins.BlockSync()
+            stride = block_threads // 2
+            while stride >= 1:
+                if ctx.tid < stride:
+                    a = yield ins.SharedLoad(slot=ctx.tid)
+                    b = yield ins.SharedLoad(slot=ctx.tid + stride)
+                    yield ins.SharedStore(slot=ctx.tid, value=a + b)
+                yield ins.BlockSync()
+                stride //= 2
+            if ctx.tid == 0:
+                total = yield ins.SharedLoad(slot=0)
+                return total
+
+        fast = BlockExecutor(spec, nthreads=64, simt_fast_path=True).run(program)
+        slow = BlockExecutor(spec, nthreads=64, simt_fast_path=False).run(program)
+        assert fast.duration_ns == slow.duration_ns
+        assert fast.end_ns == slow.end_ns
+        assert fast.returns == slow.returns
+        assert fast.returns[0] == sum(range(64))
+
+    def test_compute_prefix_identical_times(self, spec):
+        def program(ctx):
+            yield ins.FAdd(count=4)
+            yield ins.ChainStep(count=2)
+            yield ins.BlockSync()
+            t = yield ins.ReadClock()
+            ctx.record("t", t)
+
+        fast = BlockExecutor(spec, nthreads=96, simt_fast_path=True).run(program)
+        slow = BlockExecutor(spec, nthreads=96, simt_fast_path=False).run(program)
+        assert fast.records == slow.records
+        assert fast.duration_ns == slow.duration_ns
+
+
+class TestPascalFenceCommitsGlobalTid:
+    """Regression: the Pascal warp-sync fence must commit the *global*
+    tid's pending writes — a warp at tid_offset != 0 previously fenced
+    lane indices 0..31 instead, leaving its stores uncommitted."""
+
+    def test_second_warp_fence_commits_its_writes(self, p100):
+        def program(ctx):
+            yield ins.SharedStore(slot=ctx.tid, value=float(ctx.tid + 1))
+            yield ins.WarpSync(kind="tile")  # Pascal: fence, non-blocking
+            warp_base = (ctx.tid // 32) * 32
+            neighbor = warp_base + (ctx.lane + 1) % 32
+            got = yield ins.SharedLoad(slot=neighbor)
+            return got
+
+        ex = BlockExecutor(p100, nthreads=64)
+        r = ex.run(program)
+        assert not ex.shared.races, ex.shared.races[:4]
+        # Thread 33 reads thread 34's committed store, etc.
+        assert r.returns[33] == 35.0
+        assert r.returns[63] == 33.0

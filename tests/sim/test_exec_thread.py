@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cudasim import instructions as ins
 from repro.sim.engine import DeadlockError
@@ -287,3 +289,163 @@ class TestSharedMemoryInstructions:
         r = run(v100, program)
         assert not r.shared.race_detected
         assert r.records[0]["got"] == 2.0
+
+
+class TestSimtFastPathEquivalence:
+    """The converged-warp fast path must be *bit-identical* to
+    thread-precise simulation: same durations, per-thread times, values,
+    records, races and shared-memory contents (Table II / Table V / Fig 18
+    reproductions all flow through this executor)."""
+
+    @staticmethod
+    def _compare(spec, program, nthreads=32):
+        fast = WarpExecutor(spec, nthreads=nthreads, simt_fast_path=True).run(
+            program
+        )
+        slow = WarpExecutor(spec, nthreads=nthreads, simt_fast_path=False).run(
+            program
+        )
+        assert fast.duration_ns == slow.duration_ns
+        assert fast.start_ns == slow.start_ns
+        assert fast.end_ns == slow.end_ns
+        assert fast.returns == slow.returns
+        assert fast.records == slow.records
+        assert fast.shuffle_incorrect == slow.shuffle_incorrect
+        assert list(fast.shared.committed) == list(slow.shared.committed)
+        assert fast.shared.races == slow.shared.races
+        return fast
+
+    def test_pure_compute_identical(self, spec):
+        def program(ctx):
+            for _ in range(8):
+                yield ins.FAdd(count=3)
+                yield ins.ChainStep(count=2)
+
+        self._compare(spec, program)
+
+    def test_fallback_on_divergence_identical(self, spec):
+        def program(ctx):
+            yield ins.Compute(10.0)
+            yield ins.Diverge(arms=1)
+            t = yield ins.ReadClock()
+            ctx.record("t", t)
+
+        self._compare(spec, program)
+
+    def test_fallback_on_shuffle_identical(self, spec):
+        def program(ctx):
+            yield ins.Compute(4.0)
+            v = yield ins.ShuffleDown(float(ctx.lane), delta=1)
+            return v
+
+        self._compare(spec, program)
+
+    def test_warp_sync_loop_identical(self, spec):
+        def program(ctx):
+            total = 0.0
+            for r in range(4):
+                yield ins.SharedStore(slot=ctx.tid % 16, value=float(ctx.tid + r))
+                yield ins.WarpSync(kind="tile")
+                total += yield ins.SharedLoad(slot=(ctx.tid + 1) % 16)
+            return total
+
+        self._compare(spec, program)
+
+    def test_uneven_thread_exit_identical(self, spec):
+        def program(ctx):
+            yield ins.Compute(5.0)
+            if ctx.tid % 3 == 0:
+                return "early"
+            yield ins.FAdd(count=2)
+            return "late"
+
+        r = self._compare(spec, program)
+        assert r.returns[0] == "early" and r.returns[1] == "late"
+
+    def test_single_thread_wong_chain_identical(self, spec):
+        def program(ctx):
+            t0 = yield ins.ReadClock()
+            yield ins.ChainStep(count=32)
+            t1 = yield ins.ReadClock()
+            ctx.record("window", t1 - t0)
+
+        self._compare(spec, program, nthreads=1)
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "compute",
+                    "fadd",
+                    "chain",
+                    "overhead",
+                    "readclock",
+                    "store",
+                    "load",
+                    "vstore",
+                    "vload",
+                    "warpsync",
+                    "coalesced_sync",
+                    "shuffle",
+                    "diverge",
+                    "lane_compute",
+                ]
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(min_value=1, max_value=32),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_randomized_instruction_mix_identical(self, script, nthreads, volta):
+        from repro.sim.arch import P100, V100
+
+        spec = V100 if volta else P100
+
+        def program(ctx):
+            acc = 0.0
+            for step, kind in enumerate(script):
+                if kind == "compute":
+                    yield ins.Compute(3.0 + step)
+                elif kind == "fadd":
+                    yield ins.FAdd(count=1 + step % 3)
+                elif kind == "chain":
+                    yield ins.ChainStep(count=1 + step % 2)
+                elif kind == "overhead":
+                    yield ins.MethodOverhead(cycles=float(step))
+                elif kind == "readclock":
+                    acc += yield ins.ReadClock()
+                elif kind == "store":
+                    yield ins.SharedStore(
+                        slot=(ctx.tid + step) % 16, value=float(ctx.tid * 10 + step)
+                    )
+                elif kind == "load":
+                    acc += yield ins.SharedLoad(slot=(ctx.tid + step + 1) % 16)
+                elif kind == "vstore":
+                    yield ins.SharedStore(
+                        slot=(ctx.tid + step) % 16,
+                        value=float(step),
+                        volatile=True,
+                    )
+                elif kind == "vload":
+                    acc += yield ins.SharedLoad(
+                        slot=(ctx.tid + step + 1) % 16, volatile=True
+                    )
+                elif kind == "warpsync":
+                    yield ins.WarpSync(kind="tile")
+                elif kind == "coalesced_sync":
+                    yield ins.WarpSync(kind="coalesced", group_size=32)
+                elif kind == "shuffle":
+                    acc += yield ins.ShuffleDown(
+                        float(ctx.lane + step), delta=1 + step % 4
+                    )
+                elif kind == "diverge":
+                    yield ins.Diverge(arms=1 + ctx.lane % 2)
+                elif kind == "lane_compute":
+                    # Per-lane latency: forces the non-uniform fallback.
+                    yield ins.Compute(2.0 + ctx.lane % 5)
+                ctx.record(f"acc{step}", acc)
+            return acc
+
+        self._compare(spec, program, nthreads=nthreads)
