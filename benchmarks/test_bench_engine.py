@@ -69,6 +69,34 @@ def _signal_chain() -> int:
     return eng.event_count
 
 
+def _signal_fanout() -> int:
+    """One signal fired into thousands of waiters (release wavefront).
+
+    Exercises the batched-fire path: the fire enqueues a single batch
+    record instead of one resume record per waiter.
+    """
+    eng = Engine()
+    n_waiters = 10_000
+    rounds = 10
+    sigs = [Signal(eng, name=f"round{r}") for r in range(rounds)]
+
+    def waiter():
+        for r in range(rounds):
+            yield sigs[r]
+
+    for i in range(n_waiters):
+        eng.process(waiter(), name=f"w{i}")
+
+    def firer():
+        for r in range(rounds):
+            yield Timeout(1.0)
+            sigs[r].fire()
+
+    eng.process(firer(), name="firer")
+    eng.run()
+    return eng.event_count
+
+
 def _resource_contention() -> int:
     """FIFO resource under heavy contention (atomic-port pattern)."""
     eng = Engine()
@@ -108,6 +136,12 @@ def test_bench_engine_zero_delay_pingpong(benchmark):
 
 def test_bench_engine_signal_chain(benchmark):
     events = benchmark(_signal_chain)
+    _events_per_sec(benchmark, events)
+
+
+def test_bench_engine_signal_fanout(benchmark):
+    """Batched Signal.fire over 10k waiters x 10 rounds (events/s entry)."""
+    events = benchmark(_signal_fanout)
     _events_per_sec(benchmark, events)
 
 

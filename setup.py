@@ -1,9 +1,30 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Packaging for the repro distribution.
 
-All real metadata lives in ``pyproject.toml``; this file only enables
-``pip install -e . --no-use-pep517`` on minimal offline systems.
+Kept as a plain ``setup.py`` (no ``wheel``/PEP 517 requirement) so
+``pip install -e . --no-use-pep517`` works on minimal offline systems.
+The ``repro-experiments`` console script is the CLI front door of the
+declarative experiment pipeline (``repro.experiments.cli``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-gpu-sync",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'A Study of Single and Multi-device "
+        "Synchronization Methods in Nvidia GPUs' on simulated machines"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "networkx",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro-experiments = repro.experiments.cli:main",
+        ],
+    },
+)

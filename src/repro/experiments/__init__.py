@@ -1,6 +1,31 @@
-"""Experiment drivers: one per reproduced table/figure, plus the registry."""
+"""Experiment drivers, scenarios, registry and runner.
 
-from repro.experiments.base import ComparisonRow, ExperimentReport
-from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+One driver per reproduced table/figure; :class:`Scenario` parameterizes
+the machines each driver measures; the registry maps experiment ids to
+:class:`ExperimentSpec` entries; the runner executes (experiment,
+scenario) points — optionally in parallel — behind a content-addressed
+result cache.
+"""
 
-__all__ = ["ComparisonRow", "ExperimentReport", "EXPERIMENTS", "run_experiment", "run_all"]
+from repro.experiments.base import ComparisonRow, ExperimentReport, merge_reports
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    get_spec,
+    run_all,
+    run_experiment,
+)
+from repro.experiments.scenario import PAPER_SCENARIO, Scenario
+
+__all__ = [
+    "ComparisonRow",
+    "ExperimentReport",
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "PAPER_SCENARIO",
+    "Scenario",
+    "get_spec",
+    "merge_reports",
+    "run_experiment",
+    "run_all",
+]

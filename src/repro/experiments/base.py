@@ -5,16 +5,23 @@ Every table/figure of the paper has a driver returning an
 rendered artifacts (heat-maps, series).  The registry in
 :mod:`repro.experiments.registry` maps experiment ids to drivers; the CLI
 and EXPERIMENTS.md generation both walk it.
+
+Reports are **losslessly JSON-able** (:meth:`ExperimentReport.to_json` /
+:meth:`ExperimentReport.from_json`): floats round-trip exactly via their
+``repr``, so the on-disk result cache and ``--json`` machine output carry
+the same bits the drivers produced — a cached report renders byte-identical
+to a fresh one.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.viz.tables import render_table
 
-__all__ = ["ComparisonRow", "ExperimentReport"]
+__all__ = ["ComparisonRow", "ExperimentReport", "merge_reports"]
 
 
 @dataclass(frozen=True)
@@ -33,16 +40,43 @@ class ComparisonRow:
             return None
         return (self.measured - self.paper) / self.paper
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "paper": self.paper,
+            "measured": self.measured,
+            "unit": self.unit,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ComparisonRow":
+        return cls(
+            label=data["label"],
+            paper=data["paper"],
+            measured=data["measured"],
+            unit=data.get("unit", ""),
+            note=data.get("note", ""),
+        )
+
 
 @dataclass
 class ExperimentReport:
-    """Structured outcome of one experiment driver."""
+    """Structured outcome of one experiment driver.
+
+    ``scenario`` records the scenario the driver ran against (its
+    ``to_dict`` form; a merged report carries one entry per point under
+    ``{"points": [...]}``).  It is provenance only — :meth:`render` does
+    not display it, so scenario bookkeeping never perturbs the rendered
+    paper artifacts.
+    """
 
     exp_id: str
     title: str
     rows: List[ComparisonRow] = field(default_factory=list)
     artifacts: List[str] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    scenario: Optional[Dict[str, Any]] = None
 
     def add(
         self,
@@ -66,6 +100,43 @@ class ExperimentReport:
     def max_rel_err(self) -> Optional[float]:
         errs = [abs(r.rel_err) for r in self.rows if r.rel_err is not None]
         return max(errs) if errs else None
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native representation (used by the cache and ``--json``)."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "rows": [r.to_dict() for r in self.rows],
+            "artifacts": list(self.artifacts),
+            "notes": list(self.notes),
+            "scenario": self.scenario,
+            "mean_rel_err": self.mean_rel_err,
+            "max_rel_err": self.max_rel_err,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentReport":
+        return cls(
+            exp_id=data["exp_id"],
+            title=data["title"],
+            rows=[ComparisonRow.from_dict(r) for r in data.get("rows", ())],
+            artifacts=list(data.get("artifacts", ())),
+            notes=list(data.get("notes", ())),
+            scenario=data.get("scenario"),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Lossless JSON: ``json`` serializes floats via ``repr``, which
+        Python guarantees round-trips every finite float exactly."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentReport":
+        return cls.from_dict(json.loads(text))
+
+    # -- rendering -------------------------------------------------------
 
     def render(self) -> str:
         """Full ASCII report: comparison table, then artifacts and notes."""
@@ -98,3 +169,26 @@ class ExperimentReport:
                 f"max |err| {self.max_rel_err:.1%}"
             )
         return "\n".join(parts)
+
+
+def merge_reports(
+    exp_id: str, title: str, reports: List[ExperimentReport]
+) -> ExperimentReport:
+    """Merge per-scenario reports into one experiment report.
+
+    Rows and artifacts concatenate in the given (deterministic) scenario
+    order; notes are deduplicated preserving first occurrence, since a note
+    shared by every per-scenario run (a qualitative observation about the
+    experiment as a whole) should appear once, not once per scenario.
+    """
+    if not reports:
+        raise ValueError(f"no reports to merge for {exp_id!r}")
+    merged = ExperimentReport(exp_id, title)
+    for rep in reports:
+        merged.rows.extend(rep.rows)
+        merged.artifacts.extend(rep.artifacts)
+        merged.notes.extend(n for n in rep.notes if n not in merged.notes)
+    merged.scenario = {
+        "points": [rep.scenario for rep in reports if rep.scenario is not None]
+    }
+    return merged

@@ -1,26 +1,38 @@
 """Command-line entry point: ``repro-experiments [ids...]``.
 
-Runs the requested experiments (default: all) and prints their reports.
+Runs the requested experiments (default: all) through the declarative
+pipeline — parallel across ``--jobs`` processes, served from the
+content-addressed result cache unless ``--no-cache`` — and prints either
+ASCII reports or ``--json`` machine output.  Exit codes:
+
+* ``0`` — every experiment ran and landed within its tolerance,
+* ``1`` — a driver failed or a report exceeded its reproduction tolerance,
+* ``2`` — bad usage (unknown experiment id / malformed ``--scenario``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments import runner
+from repro.experiments.registry import EXPERIMENTS, get_spec
+from repro.experiments.scenario import apply_overrides
 
 __all__ = ["main"]
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
             "Reproduce the tables and figures of 'A Study of Single and "
             "Multi-device Synchronization Methods in Nvidia GPUs' on the "
-            "simulated P100/V100/DGX-1 machines."
+            "simulated P100/V100/DGX-1 machines (and any scenario sweep "
+            "beyond them)."
         ),
     )
     parser.add_argument(
@@ -30,13 +42,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=f"experiments to run (default: all). Available: {', '.join(EXPERIMENTS)}",
     )
     parser.add_argument(
-        "--list", action="store_true", help="list experiment ids and exit"
+        "--list", action="store_true",
+        help="list experiment ids with titles and tags, then exit",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="run (experiment, scenario) points across N processes",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit reports as a JSON array instead of ASCII tables",
+    )
+    parser.add_argument(
+        "--scenario", action="append", default=[], metavar="KEY=VALUE",
+        help=(
+            "override a scenario field for every selected experiment "
+            "(repeatable), e.g. --scenario gpus=V100 --scenario "
+            "interconnect=nvswitch --scenario gpu_counts=2,4,8"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache (always recompute)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="result cache location (default: $REPRO_EXPERIMENTS_CACHE "
+             "or ~/.cache/repro-experiments)",
+    )
+    return parser
+
+
+def _list_experiments() -> None:
+    width = max(len(e) for e in EXPERIMENTS)
+    for exp_id, spec in EXPERIMENTS.items():
+        tags = f"  [{', '.join(spec.tags)}]" if spec.tags else ""
+        print(f"{exp_id:<{width}}  {spec.title}{tags}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
 
     if args.list:
-        for exp_id in EXPERIMENTS:
-            print(exp_id)
+        _list_experiments()
         return 0
 
     ids = args.ids or list(EXPERIMENTS)
@@ -46,11 +94,69 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
+    # Build the point list: default scenarios, with --scenario overrides
+    # applied to each.  Overrides can collapse distinct defaults into the
+    # same scenario (e.g. gpus=P100 onto per-GPU defaults), so dedupe —
+    # Scenario is frozen/hashable and dict.fromkeys preserves order.
+    points = []
+    try:
+        for exp_id in ids:
+            scens = dict.fromkeys(
+                apply_overrides(scen, args.scenario)
+                for scen in get_spec(exp_id).default_scenarios
+            )
+            points.extend((exp_id, scen) for scen in scens)
+    except ValueError as exc:
+        print(f"bad --scenario override: {exc}", file=sys.stderr)
+        return 2
+
+    results = runner.run_points(
+        points,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+
+    exit_code = 0
+    reports = []
+    by_exp: dict = {}
+    for res in results:
+        if not res.ok:
+            print(
+                f"experiment {res.exp_id} [{res.scenario.describe()}] failed:\n"
+                f"{res.error}",
+                file=sys.stderr,
+            )
+            exit_code = 1
+            continue
+        by_exp.setdefault(res.exp_id, []).append(res)
     for exp_id in ids:
-        report = run_experiment(exp_id)
-        print(report.render())
-        print()
-    return 0
+        if exp_id in by_exp:
+            reports.append(runner.merge_experiment(exp_id, by_exp[exp_id]))
+
+    # Tolerance gate: a reproduction that drifted past its per-experiment
+    # bound is a failure even though the driver ran cleanly.
+    for report in reports:
+        tol = get_spec(report.exp_id).tolerance
+        if (
+            tol is not None
+            and report.mean_rel_err is not None
+            and report.mean_rel_err > tol
+        ):
+            print(
+                f"experiment {report.exp_id} exceeded tolerance: "
+                f"mean |err| {report.mean_rel_err:.1%} > {tol:.1%}",
+                file=sys.stderr,
+            )
+            exit_code = 1
+
+    if args.as_json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+            print()
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

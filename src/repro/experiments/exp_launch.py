@@ -1,36 +1,49 @@
-"""Experiments E-T1 (Table I) and E-F9 (Figure 9): implicit barriers."""
+"""Experiments E-T1 (Table I) and E-F9 (Figure 9): implicit barriers.
+
+Drivers take a :class:`~repro.experiments.scenario.Scenario`; Table I's
+paper values are published for the V100 only, so its default scenario
+measures that GPU, but the same protocol runs against any scenario GPU.
+"""
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.cudasim.runtime import CudaRuntime
 from repro.experiments.base import ExperimentReport
 from repro.experiments.paper_data import FIG9_US, TABLE1_NS
+from repro.experiments.scenario import PAPER_SCENARIO, Scenario
 from repro.microbench.implicit import (
     cpu_side_barrier_overhead,
     measure_kernel_total_latency,
     measure_launch_overhead,
 )
-from repro.sim.arch import DGX1_V100, V100
 from repro.sim.node import Node, simulate_multigrid_sync
 from repro.viz.tables import render_table
 
 __all__ = ["run_table1", "run_fig9"]
 
+# Table I is published for the V100 / DGX-1 platform only.
+TABLE1_SCENARIO = Scenario(gpus=("V100",))
 
-def run_table1() -> ExperimentReport:
+
+def run_table1(scenario: Optional[Scenario] = None) -> ExperimentReport:
     """Table I: launch overhead and null-kernel total latency, V100.
 
     Both columns are *measured* through the paper's own protocols: the
     kernel-fusion method (Eq 6) and the Fig-3 estimator.
     """
+    scenario = scenario or TABLE1_SCENARIO
+    gpu = scenario.gpu_specs()[0]
+    node_spec = scenario.node_spec()
     report = ExperimentReport("table1", "Launch overhead / null-kernel latency (V100)")
 
     for launch_type in ("traditional", "cooperative", "multi_device"):
         if launch_type == "multi_device":
-            factory = lambda: CudaRuntime.for_node(DGX1_V100, gpu_count=1)
+            factory = lambda: CudaRuntime.for_node(node_spec, gpu_count=1)
             devices = [0]
         else:
-            factory = lambda: CudaRuntime.single_gpu(V100, seed=3)
+            factory = lambda: CudaRuntime.single_gpu(gpu, seed=3)
             devices = None
         ov = measure_launch_overhead(factory, launch_type, devices=devices)
         total = measure_kernel_total_latency(factory, launch_type, devices=devices)
@@ -59,17 +72,26 @@ _MGRID_SERIES = {
 }
 
 
-def run_fig9(gpu_counts=(1, 2, 3, 4, 5, 6, 7, 8)) -> ExperimentReport:
+def run_fig9(
+    scenario: Optional[Scenario] = None, gpu_counts=None
+) -> ExperimentReport:
     """Figure 9: multi-device launch vs CPU-side barrier vs multi-grid."""
+    scenario = scenario or PAPER_SCENARIO
+    counts = (
+        tuple(gpu_counts)
+        if gpu_counts is not None
+        else scenario.sweep_counts((1, 2, 3, 4, 5, 6, 7, 8))
+    )
+    node_spec = scenario.node_spec()
     report = ExperimentReport(
         "fig9", "Implicit vs CPU-side vs multi-grid barriers across DGX-1"
     )
-    series: dict = {"gpu_count": list(gpu_counts)}
+    series: dict = {"gpu_count": list(counts)}
 
     # Multi-device launch overhead (fusion method, scaled sleep kernels).
     md = []
-    for n in gpu_counts:
-        factory = lambda n=n: CudaRuntime.for_node(DGX1_V100, gpu_count=n)
+    for n in counts:
+        factory = lambda n=n: CudaRuntime.for_node(node_spec, gpu_count=n)
         ov = measure_launch_overhead(
             factory, "multi_device", devices=list(range(n)), units_scale=400
         )
@@ -77,21 +99,21 @@ def run_fig9(gpu_counts=(1, 2, 3, 4, 5, 6, 7, 8)) -> ExperimentReport:
     series["multi_device_launch_overhead"] = md
 
     # CPU-side barrier overhead.
-    cpu = [cpu_side_barrier_overhead(DGX1_V100, n).mean / 1e3 for n in gpu_counts]
+    cpu = [cpu_side_barrier_overhead(node_spec, n).mean / 1e3 for n in counts]
     series["cpu_side_barrier"] = cpu
 
     # Multi-grid sync, three configurations.
-    node = Node(DGX1_V100)
+    node = Node(node_spec)
     for name, (b, t) in _MGRID_SERIES.items():
         series[name] = [
             simulate_multigrid_sync(node, b, t, gpu_ids=range(n)).latency_per_sync_us
-            for n in gpu_counts
+            for n in counts
         ]
 
     for key, anchors in FIG9_US.items():
         for n, paper_val in anchors.items():
-            if n in gpu_counts:
-                measured = series[key][list(gpu_counts).index(n)]
+            if n in counts:
+                measured = series[key][list(counts).index(n)]
                 report.add(f"{key} @ {n} GPU", paper_val, measured, "us")
 
     rows = list(
@@ -113,7 +135,7 @@ def run_fig9(gpu_counts=(1, 2, 3, 4, 5, 6, 7, 8)) -> ExperimentReport:
     )
 
     # Qualitative acceptance: the paper's three headline observations.
-    idx2 = list(gpu_counts).index(2) if 2 in gpu_counts else None
+    idx2 = list(counts).index(2) if 2 in counts else None
     if idx2 is not None:
         report.notes.append(
             "CPU-side beats multi-device launch for >2 GPUs: "

@@ -1,6 +1,12 @@
-"""Experiments E-F18 (warp-barrier blocking) and E-D1 (deadlock matrix)."""
+"""Experiments E-F18 (warp-barrier blocking) and E-D1 (deadlock matrix).
+
+Drivers take a :class:`~repro.experiments.scenario.Scenario` and probe the
+pitfalls on every GPU architecture it names.
+"""
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.core.pitfalls import (
     partial_sync_deadlock_matrix,
@@ -8,7 +14,7 @@ from repro.core.pitfalls import (
     warp_sync_blocking_trace,
 )
 from repro.experiments.base import ExperimentReport
-from repro.sim.arch import P100, V100
+from repro.experiments.scenario import PAPER_SCENARIO, Scenario
 from repro.viz.tables import render_table
 
 __all__ = ["run_fig18", "run_deadlock"]
@@ -17,10 +23,11 @@ __all__ = ["run_fig18", "run_deadlock"]
 _PAPER_START_SPREAD = {"V100": 14000.0, "P100": 9000.0}
 
 
-def run_fig18() -> ExperimentReport:
+def run_fig18(scenario: Optional[Scenario] = None) -> ExperimentReport:
     """Fig 18: per-thread timers around a tile sync under divergence."""
+    scenario = scenario or PAPER_SCENARIO
     report = ExperimentReport("fig18", "Warp-barrier blocking behaviour")
-    for spec in (V100, P100):
+    for spec in scenario.gpu_specs():
         trace = warp_sync_blocking_trace(spec, kind="tile")
         report.add(
             f"{spec.name} start staircase span",
@@ -28,7 +35,7 @@ def run_fig18() -> ExperimentReport:
             trace.start_spread_cycles,
             "cyc",
         )
-        blocks_expected = 1.0 if spec.name == "V100" else 0.0
+        blocks_expected = 1.0 if spec.independent_thread_scheduling else 0.0
         report.add(
             f"{spec.name} barrier blocks all threads",
             blocks_expected,
@@ -62,8 +69,9 @@ def run_fig18() -> ExperimentReport:
     return report
 
 
-def run_deadlock() -> ExperimentReport:
+def run_deadlock(scenario: Optional[Scenario] = None) -> ExperimentReport:
     """Section VIII-B: partial-group sync deadlock matrix."""
+    scenario = scenario or PAPER_SCENARIO
     report = ExperimentReport("deadlock", "Partial-group synchronization outcomes")
     paper_matrix = {
         "warp": False,
@@ -72,7 +80,7 @@ def run_deadlock() -> ExperimentReport:
         "multigrid_blocks": True,
         "multigrid_gpus": True,
     }
-    for spec in (V100, P100):
+    for spec in scenario.gpu_specs():
         measured = partial_sync_deadlock_matrix(spec).as_dict()
         for level, expected in paper_matrix.items():
             report.add(

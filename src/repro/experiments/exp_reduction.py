@@ -1,23 +1,31 @@
-"""Experiments E-T5, E-F15, E-T6, E-F16: the reduction case study."""
+"""Experiments E-T5, E-F15, E-T6, E-F16: the reduction case study.
+
+Drivers take a :class:`~repro.experiments.scenario.Scenario`; Fig 16 also
+honours the scenario's ``size_bytes`` and GPU-count sweep so the registry
+can explore other payloads and topologies.
+"""
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.base import ExperimentReport
 from repro.experiments.paper_data import TABLE5_CYCLES, TABLE5_INCORRECT, TABLE6_GBPS
+from repro.experiments.scenario import PAPER_SCENARIO, Scenario
 from repro.reduction.device import latency_vs_size, bandwidth_table
 from repro.reduction.multigpu import throughput_vs_gpu_count
 from repro.reduction.warp import table5_rows
-from repro.sim.arch import DGX1_V100, P100, V100
 from repro.util.units import GB
 from repro.viz.tables import render_table
 
 __all__ = ["run_table5", "run_fig15", "run_table6", "run_fig16"]
 
 
-def run_table5() -> ExperimentReport:
+def run_table5(scenario: Optional[Scenario] = None) -> ExperimentReport:
     """Table V: warp-reduce latency per sync method, with correctness."""
+    scenario = scenario or PAPER_SCENARIO
     report = ExperimentReport("table5", "Latency to sum 32 doubles per warp method")
-    for spec in (V100, P100):
+    for spec in scenario.gpu_specs():
         rows = table5_rows(spec)
         for method, vals in rows.items():
             paper = TABLE5_CYCLES[spec.name][method]
@@ -34,10 +42,11 @@ def run_table5() -> ExperimentReport:
     return report
 
 
-def run_fig15() -> ExperimentReport:
+def run_fig15(scenario: Optional[Scenario] = None) -> ExperimentReport:
     """Fig 15: single-GPU reduction latency vs size, four methods."""
+    scenario = scenario or PAPER_SCENARIO
     report = ExperimentReport("fig15", "Single-GPU reduction latency vs size")
-    for spec in (V100, P100):
+    for spec in scenario.gpu_specs():
         results = latency_vs_size(spec)
         sizes = [r.size_bytes for r in results["implicit"]]
         table = [
@@ -80,10 +89,11 @@ def run_fig15() -> ExperimentReport:
     return report
 
 
-def run_table6() -> ExperimentReport:
+def run_table6(scenario: Optional[Scenario] = None) -> ExperimentReport:
     """Table VI: reduction bandwidth per method at 1 GB."""
+    scenario = scenario or PAPER_SCENARIO
     report = ExperimentReport("table6", "Reduction bandwidth (GB/s)")
-    for spec in (V100, P100):
+    for spec in scenario.gpu_specs():
         rows = bandwidth_table(spec)
         for method, measured in rows.items():
             report.add(
@@ -97,22 +107,28 @@ def run_table6() -> ExperimentReport:
     return report
 
 
-def run_fig16(size_bytes: int = 8 * GB) -> ExperimentReport:
+def run_fig16(
+    scenario: Optional[Scenario] = None, size_bytes: Optional[int] = None
+) -> ExperimentReport:
     """Fig 16: DGX-1 reduction throughput vs GPU count, both barriers."""
+    scenario = scenario or PAPER_SCENARIO
+    size = size_bytes if size_bytes is not None else (scenario.size_bytes or 8 * GB)
+    node_spec = scenario.node_spec()
     report = ExperimentReport("fig16", "Multi-GPU reduction throughput (DGX-1)")
-    series = throughput_vs_gpu_count(DGX1_V100, size_bytes=size_bytes)
+    sweep = scenario.gpu_counts if scenario.gpu_counts else None
+    series = throughput_vs_gpu_count(node_spec, size_bytes=size, gpu_counts=sweep)
     counts = sorted(series["mgrid"])
     report.add_artifact(
         render_table(
             ["GPUs", "mgrid sync (GB/s)", "CPU-side barrier (GB/s)"],
             [[n, series["mgrid"][n], series["cpu_barrier"][n]] for n in counts],
-            title=f"Fig 16 at {size_bytes / GB:.0f} GB",
+            title=f"Fig 16 at {size / GB:.0f} GB",
             precision=0,
         )
     )
     # Qualitative anchors: near-linear scaling; CPU-side slightly ahead.
     eight = max(counts)
-    scaling = series["mgrid"][eight] / series["mgrid"][1]
+    scaling = series["mgrid"][eight] / series["mgrid"][min(counts)]
     report.add("mgrid scaling factor at 8 GPUs", 7.5, scaling, "x",
                note="near-linear (paper shows ~7-8x)")
     cpu_ahead = all(

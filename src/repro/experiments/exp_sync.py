@@ -1,8 +1,13 @@
-"""Experiments E-T2 (Table II), E-F4, E-F5, E-F7, E-F8: sync characterization."""
+"""Experiments E-T2 (Table II), E-F4, E-F5, E-F7, E-F8: sync characterization.
+
+Every driver takes a :class:`~repro.experiments.scenario.Scenario`; the
+paper's machines are only the *default* scenario, so the registry can sweep
+the same protocols over other GPU subsets, counts and topologies.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.characterize import (
     block_sync_scan,
@@ -17,18 +22,21 @@ from repro.experiments.paper_data import (
     FIG8_MULTIGRID_V100_US,
     TABLE2,
 )
-from repro.sim.arch import DGX1_V100, P100, P100_PCIE_NODE, V100, get_gpu_spec
-from repro.sim.node import Node
+from repro.experiments.scenario import PAPER_SCENARIO, Scenario
 from repro.viz.heatmap import render_heatmap_pair
 from repro.viz.tables import render_table
 
 __all__ = ["run_table2", "run_fig4", "run_fig5", "run_fig7", "run_fig8"]
 
+# Fig 7 runs on the dual-P100 PCIe box, not the default DGX-1.
+FIG7_SCENARIO = Scenario(gpus=("P100",), node="P100x2")
 
-def run_table2() -> ExperimentReport:
-    """Table II: warp-level sync latency and throughput, both GPUs."""
+
+def run_table2(scenario: Optional[Scenario] = None) -> ExperimentReport:
+    """Table II: warp-level sync latency and throughput."""
+    scenario = scenario or PAPER_SCENARIO
     report = ExperimentReport("table2", "Warp-level synchronization (V100 + P100)")
-    for spec in (V100, P100):
+    for spec in scenario.gpu_specs():
         measured = table2_rows(spec)
         for row, vals in measured.items():
             paper = TABLE2[spec.name][row]
@@ -48,10 +56,11 @@ def run_table2() -> ExperimentReport:
     return report
 
 
-def run_fig4() -> ExperimentReport:
+def run_fig4(scenario: Optional[Scenario] = None) -> ExperimentReport:
     """Fig 4: block-sync latency and per-warp throughput vs warps/SM."""
+    scenario = scenario or PAPER_SCENARIO
     report = ExperimentReport("fig4", "Block synchronization scaling")
-    for spec in (V100, P100):
+    for spec in scenario.gpu_specs():
         points = block_sync_scan(spec)
         sat_paper = TABLE2[spec.name]["block_per_warp"]["throughput"]
         sat_measured = max(p.per_warp_throughput for p in points)
@@ -122,22 +131,30 @@ def _heatmap_report(
     return report
 
 
-def run_fig5(gpu: str = "both") -> ExperimentReport:
+def run_fig5(
+    scenario: Optional[Scenario] = None, gpu: str = "both"
+) -> ExperimentReport:
     """Fig 5: grid-sync latency heat-maps."""
     if gpu != "both":
-        spec = get_gpu_spec(gpu)
-        return _heatmap_report(
+        scenario = Scenario(gpus=(gpu,))
+    scenario = scenario or PAPER_SCENARIO
+    specs = scenario.gpu_specs()
+    if len(specs) == 1:
+        spec = specs[0]
+        report = _heatmap_report(
             "fig5", f"Grid synchronization heat-map ({spec.name})",
-            grid_sync_heatmap(spec), FIG5_GRID_SYNC_US[spec.name], spec.name,
+            grid_sync_heatmap(spec), FIG5_GRID_SYNC_US.get(spec.name, {}), spec.name,
         )
-    report = ExperimentReport("fig5", "Grid synchronization heat-maps")
-    for spec in (V100, P100):
-        sub = _heatmap_report(
-            "fig5", "", grid_sync_heatmap(spec), FIG5_GRID_SYNC_US[spec.name], spec.name
-        )
-        report.rows.extend(sub.rows)
-        report.artifacts.extend(sub.artifacts)
-        report.notes.extend(sub.notes)
+    else:
+        report = ExperimentReport("fig5", "Grid synchronization heat-maps")
+        for spec in specs:
+            sub = _heatmap_report(
+                "fig5", "", grid_sync_heatmap(spec),
+                FIG5_GRID_SYNC_US.get(spec.name, {}), spec.name,
+            )
+            report.rows.extend(sub.rows)
+            report.artifacts.extend(sub.artifacts)
+            report.notes.extend(sub.notes)
     report.notes.append(
         "grid sync latency tracks blocks/SM (atomic serialization), weakly "
         "threads/block; cells blank where the grid cannot co-reside"
@@ -145,13 +162,16 @@ def run_fig5(gpu: str = "both") -> ExperimentReport:
     return report
 
 
-def run_fig7() -> ExperimentReport:
+def run_fig7(scenario: Optional[Scenario] = None) -> ExperimentReport:
     """Fig 7: multi-grid sync on the dual-P100 PCIe platform."""
+    scenario = scenario or FIG7_SCENARIO
+    gpu_name = scenario.node_spec().gpu.name
     report = ExperimentReport("fig7", "Multi-grid synchronization (P100 x PCIe)")
-    for n, paper in FIG7_MULTIGRID_P100_US.items():
-        node = Node(P100_PCIE_NODE, gpu_count=max(n, 1))
+    for n in scenario.sweep_counts(sorted(FIG7_MULTIGRID_P100_US)):
+        node = scenario.build_node(gpu_count=max(n, 1))
         measured = multigrid_sync_heatmap(node, gpu_ids=range(n))
-        sub = _heatmap_report("fig7", "", measured, paper, f"P100 x{n}")
+        paper = FIG7_MULTIGRID_P100_US.get(n, {})
+        sub = _heatmap_report("fig7", "", measured, paper, f"{gpu_name} x{n}")
         report.rows.extend(sub.rows)
         report.artifacts.extend(sub.artifacts)
         report.notes.extend(sub.notes)
@@ -161,14 +181,23 @@ def run_fig7() -> ExperimentReport:
     return report
 
 
-def run_fig8(gpu_counts=(1, 2, 5, 6, 8)) -> ExperimentReport:
+def run_fig8(
+    scenario: Optional[Scenario] = None, gpu_counts=None
+) -> ExperimentReport:
     """Fig 8: multi-grid sync on the DGX-1 for the published GPU counts."""
+    scenario = scenario or PAPER_SCENARIO
+    counts = (
+        tuple(gpu_counts)
+        if gpu_counts is not None
+        else scenario.sweep_counts((1, 2, 5, 6, 8))
+    )
     report = ExperimentReport("fig8", "Multi-grid synchronization (V100 DGX-1)")
-    node = Node(DGX1_V100)
-    for n in gpu_counts:
-        paper = FIG8_MULTIGRID_V100_US[n]
+    node = scenario.build_node()
+    gpu_name = node.spec.gpu.name
+    for n in counts:
+        paper = FIG8_MULTIGRID_V100_US.get(n, {})
         measured = multigrid_sync_heatmap(node, gpu_ids=range(n))
-        sub = _heatmap_report("fig8", "", measured, paper, f"V100 x{n}")
+        sub = _heatmap_report("fig8", "", measured, paper, f"{gpu_name} x{n}")
         report.rows.extend(sub.rows)
         report.artifacts.extend(sub.artifacts)
         report.notes.extend(sub.notes)

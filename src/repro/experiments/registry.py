@@ -1,55 +1,182 @@
-"""Registry of every reproduced table and figure.
+"""Registry of every reproduced table and figure — experiments as *data*.
 
-Maps experiment ids to their drivers.  ``run_all`` executes everything in
-paper order — the CLI and EXPERIMENTS.md generation both go through here.
+Each entry is an :class:`ExperimentSpec`: a driver plus the default
+scenarios it runs against, a title, tags, and the reproduction tolerance
+the CLI enforces.  Default scenarios are split per architecture wherever
+the driver's work factors cleanly (one point per GPU), so the runner can
+execute and cache the points independently; ``run_all --jobs N`` gets its
+parallelism from exactly this split.
+
+``run_experiment`` / ``run_all`` delegate to :mod:`repro.experiments.runner`
+— the **single entry path** that owns per-point error handling and the
+content-addressed result cache.  Nothing calls a driver directly anymore.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.base import ExperimentReport
-from repro.experiments.exp_launch import run_fig9, run_table1
+from repro.experiments.exp_launch import TABLE1_SCENARIO, run_fig9, run_table1
 from repro.experiments.exp_model import run_table3, run_table4, run_validation
 from repro.experiments.exp_pitfalls import run_deadlock, run_fig18
 from repro.experiments.exp_reduction import run_fig15, run_fig16, run_table5, run_table6
-from repro.experiments.exp_sync import run_fig4, run_fig5, run_fig7, run_fig8, run_table2
+from repro.experiments.exp_sync import (
+    FIG7_SCENARIO,
+    run_fig4,
+    run_fig5,
+    run_fig7,
+    run_fig8,
+    run_table2,
+)
+from repro.experiments.scenario import PAPER_SCENARIO, Scenario
 from repro.experiments.summary import run_summary
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+__all__ = [
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "get_spec",
+    "run_experiment",
+    "run_all",
+]
 
-EXPERIMENTS: Dict[str, Callable[[], ExperimentReport]] = {
-    "table1": run_table1,
-    "table2": run_table2,
-    "fig4": run_fig4,
-    "fig5": run_fig5,
-    "fig7": run_fig7,
-    "fig8": run_fig8,
-    "fig9": run_fig9,
-    "table3": run_table3,
-    "table4": run_table4,
-    "table5": run_table5,
-    "fig15": run_fig15,
-    "table6": run_table6,
-    "fig16": run_fig16,
-    "fig18": run_fig18,
-    "deadlock": run_deadlock,
-    "validation": run_validation,
-    "table8": run_summary,
-}
+# One scenario per paper GPU: the work of a dual-architecture driver factors
+# into independent, individually-cacheable points.
+_PER_GPU = (Scenario(gpus=("V100",)), Scenario(gpus=("P100",)))
 
 
-def run_experiment(exp_id: str) -> ExperimentReport:
-    """Run one experiment by id (see :data:`EXPERIMENTS` for the list)."""
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one reproduced table/figure."""
+
+    id: str
+    title: str
+    driver: Callable[..., ExperimentReport]
+    default_scenarios: Tuple[Scenario, ...] = (PAPER_SCENARIO,)
+    tags: Tuple[str, ...] = ()
+    # Max acceptable mean |relative error| vs the paper; the CLI exits
+    # nonzero when a report exceeds it.  ``None`` disables the gate.
+    tolerance: Optional[float] = 0.10
+
+
+_SPECS: List[ExperimentSpec] = [
+    ExperimentSpec(
+        "table1", "Launch overhead / null-kernel latency (V100)", run_table1,
+        default_scenarios=(TABLE1_SCENARIO,),
+        tags=("launch", "single-gpu"),
+    ),
+    ExperimentSpec(
+        "table2", "Warp-level synchronization (V100 + P100)", run_table2,
+        default_scenarios=_PER_GPU, tags=("warp", "sync", "single-gpu"),
+        tolerance=0.05,
+    ),
+    ExperimentSpec(
+        "fig4", "Block synchronization scaling", run_fig4,
+        default_scenarios=_PER_GPU, tags=("block", "sync", "single-gpu"),
+        tolerance=0.05,
+    ),
+    ExperimentSpec(
+        "fig5", "Grid synchronization heat-maps", run_fig5,
+        default_scenarios=_PER_GPU, tags=("grid", "sync", "heatmap"),
+    ),
+    ExperimentSpec(
+        "fig7", "Multi-grid synchronization (P100 x PCIe)", run_fig7,
+        default_scenarios=(FIG7_SCENARIO,),
+        tags=("multigrid", "sync", "multi-gpu", "pcie"),
+    ),
+    ExperimentSpec(
+        "fig8", "Multi-grid synchronization (V100 DGX-1)", run_fig8,
+        default_scenarios=(Scenario(gpus=("V100",)),),
+        tags=("multigrid", "sync", "multi-gpu", "nvlink"),
+    ),
+    ExperimentSpec(
+        "fig9", "Implicit vs CPU-side vs multi-grid barriers across DGX-1",
+        run_fig9,
+        default_scenarios=(Scenario(gpus=("V100",)),),
+        tags=("launch", "multigrid", "multi-gpu"),
+    ),
+    ExperimentSpec(
+        "table3", "Projected concurrency (Little's law)", run_table3,
+        default_scenarios=_PER_GPU, tags=("model", "single-gpu"),
+        tolerance=0.03,
+    ),
+    ExperimentSpec(
+        "table4", "Predicted worker switching points", run_table4,
+        default_scenarios=_PER_GPU, tags=("model", "single-gpu"),
+    ),
+    ExperimentSpec(
+        "table5", "Latency to sum 32 doubles per warp method", run_table5,
+        default_scenarios=_PER_GPU, tags=("reduction", "warp"),
+    ),
+    ExperimentSpec(
+        "fig15", "Single-GPU reduction latency vs size", run_fig15,
+        default_scenarios=_PER_GPU, tags=("reduction", "single-gpu"),
+    ),
+    ExperimentSpec(
+        "table6", "Reduction bandwidth (GB/s)", run_table6,
+        default_scenarios=_PER_GPU, tags=("reduction", "single-gpu"),
+        tolerance=0.03,
+    ),
+    ExperimentSpec(
+        "fig16", "Multi-GPU reduction throughput (DGX-1)", run_fig16,
+        default_scenarios=(Scenario(gpus=("V100",)),),
+        tags=("reduction", "multi-gpu"),
+    ),
+    ExperimentSpec(
+        "fig18", "Warp-barrier blocking behaviour", run_fig18,
+        default_scenarios=_PER_GPU, tags=("pitfall", "warp"),
+    ),
+    ExperimentSpec(
+        "deadlock", "Partial-group synchronization outcomes", run_deadlock,
+        default_scenarios=_PER_GPU, tags=("pitfall", "deadlock"),
+    ),
+    ExperimentSpec(
+        "validation", "Measurement-method cross-validation (Section IX-D)",
+        run_validation,
+        default_scenarios=_PER_GPU, tags=("methodology",),
+    ),
+    ExperimentSpec(
+        "table8", "Summary of observations (Table VIII)", run_summary,
+        default_scenarios=(PAPER_SCENARIO,), tags=("summary",),
+    ),
+]
+
+# Paper order, id -> spec.
+EXPERIMENTS: Dict[str, ExperimentSpec] = {spec.id: spec for spec in _SPECS}
+
+
+def get_spec(exp_id: str) -> ExperimentSpec:
+    """Look up an experiment spec by id."""
     try:
-        driver = EXPERIMENTS[exp_id]
+        return EXPERIMENTS[exp_id]
     except KeyError:
         raise ValueError(
             f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return driver()
 
 
-def run_all() -> List[ExperimentReport]:
-    """Run every experiment in paper order."""
-    return [driver() for driver in EXPERIMENTS.values()]
+def run_experiment(
+    exp_id: str,
+    scenarios: Optional[Sequence[Scenario]] = None,
+    use_cache: bool = False,
+) -> ExperimentReport:
+    """Run one experiment by id through the runner's single entry path.
+
+    Caching defaults off here (the historical in-process behaviour);
+    the CLI and ``run_all`` turn it on.
+    """
+    from repro.experiments import runner
+
+    return runner.run_experiment(exp_id, scenarios=scenarios, use_cache=use_cache)
+
+
+def run_all(
+    ids: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    use_cache: bool = False,
+) -> List[ExperimentReport]:
+    """Run experiments in paper order (optionally parallel, see runner)."""
+    from repro.experiments import runner
+
+    return runner.run_all(ids=ids, jobs=jobs, use_cache=use_cache)

@@ -1,8 +1,11 @@
 """Generate EXPERIMENTS.md: the paper-vs-measured record for every artifact.
 
-``python -m repro.experiments.report [path]`` runs the full registry and
-writes a markdown report with one section per table/figure, comparison
-tables, and the rendered ASCII artifacts.
+``python -m repro.experiments.report [path] [--jobs N]`` runs the full
+registry through the experiment runner (parallel + cached like the CLI)
+and writes a markdown report with one section per table/figure, comparison
+tables, and the rendered ASCII artifacts.  Sections render from the same
+JSON-able report structures the cache and ``--json`` output carry, so a
+document built from cached reports is byte-identical to a fresh one.
 """
 
 from __future__ import annotations
@@ -13,7 +16,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments.base import ExperimentReport
-from repro.experiments.registry import EXPERIMENTS
+from repro.viz.tables import render_markdown_table
 
 __all__ = ["experiments_markdown", "write_experiments_md"]
 
@@ -45,13 +48,19 @@ lookup.  Per-experiment error summaries quantify both.
 def _section(report: ExperimentReport) -> str:
     lines = [f"## {report.exp_id}: {report.title}", ""]
     if report.rows:
-        lines.append("| metric | paper | measured | unit | err |")
-        lines.append("|---|---:|---:|---|---:|")
+        cells = []
         for r in report.rows:
             paper = "-" if r.paper is None else f"{r.paper:g}"
             measured = "-" if r.measured is None else f"{r.measured:.4g}"
             err = "-" if r.rel_err is None else f"{r.rel_err:+.1%}"
-            lines.append(f"| {r.label} | {paper} | {measured} | {r.unit} | {err} |")
+            cells.append([r.label, paper, measured, r.unit, err])
+        lines.append(
+            render_markdown_table(
+                ["metric", "paper", "measured", "unit", "err"],
+                cells,
+                align=["left", "right", "right", "left", "right"],
+            )
+        )
         lines.append("")
     if report.mean_rel_err is not None:
         lines.append(
@@ -70,10 +79,16 @@ def _section(report: ExperimentReport) -> str:
     return "\n".join(lines)
 
 
-def experiments_markdown(reports: Optional[List[ExperimentReport]] = None) -> str:
+def experiments_markdown(
+    reports: Optional[List[ExperimentReport]] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
+) -> str:
     """Render the full markdown document (runs the registry by default)."""
     if reports is None:
-        reports = [driver() for driver in EXPERIMENTS.values()]
+        from repro.experiments import runner
+
+        reports = runner.run_all(jobs=jobs, use_cache=use_cache)
     parts = [_HEADER]
     overall = [r.mean_rel_err for r in reports if r.mean_rel_err is not None]
     parts.append(
@@ -86,16 +101,26 @@ def experiments_markdown(reports: Optional[List[ExperimentReport]] = None) -> st
     return "\n".join(parts)
 
 
-def write_experiments_md(path: str | Path = "EXPERIMENTS.md") -> Path:
+def write_experiments_md(
+    path: str | Path = "EXPERIMENTS.md", jobs: int = 1, use_cache: bool = True
+) -> Path:
     """Run everything and write the report; returns the path."""
     out = Path(path)
     t0 = time.time()
-    text = experiments_markdown()
+    text = experiments_markdown(jobs=jobs, use_cache=use_cache)
     text += f"\n---\n*Generated in {time.time() - t0:.1f} s of simulation.*\n"
     out.write_text(text)
     return out
 
 
 if __name__ == "__main__":  # pragma: no cover
-    target = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
-    print(f"wrote {write_experiments_md(target)}")
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument("--no-cache", action="store_true")
+    ns = parser.parse_args()
+    print(
+        f"wrote {write_experiments_md(ns.path, jobs=ns.jobs, use_cache=not ns.no_cache)}"
+    )

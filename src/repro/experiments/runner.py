@@ -1,0 +1,290 @@
+"""Execution layer: parallel (experiment, scenario) points + result cache.
+
+Every way of running an experiment — CLI, ``registry.run_all``, the
+EXPERIMENTS.md generator — funnels through :func:`execute_point`, the
+single entry path that owns error handling and caching:
+
+* **Parallelism.**  ``run_points`` fans independent points out over a
+  ``ProcessPoolExecutor`` (``jobs > 1``) and merges results back in input
+  order, so parallel runs are byte-identical to serial runs.
+* **Content-addressed cache.**  A finished report is stored under the key
+  ``(driver id, scenario content hash, code version)``; ``code version``
+  digests every source file of the ``repro`` package, so *any* code change
+  invalidates the cache while a re-run after a no-op edit is near-instant.
+  Reports round-trip losslessly through JSON (floats serialize via
+  ``repr``), so a cache hit renders byte-identical to a fresh run.
+* **Errors.**  A failing driver yields a :class:`PointResult` carrying the
+  traceback instead of killing the whole sweep; ``run_all`` aggregates
+  them into one :class:`ExperimentError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.base import ExperimentReport, merge_reports
+from repro.experiments.registry import EXPERIMENTS, get_spec
+from repro.experiments.scenario import Scenario
+
+__all__ = [
+    "ExperimentError",
+    "PointResult",
+    "code_version",
+    "default_cache_dir",
+    "execute_point",
+    "run_points",
+    "merge_experiment",
+    "run_experiment",
+    "run_all",
+]
+
+
+class ExperimentError(RuntimeError):
+    """One or more (experiment, scenario) points failed."""
+
+    def __init__(self, failures: List["PointResult"]):
+        self.failures = failures
+        lines = [f"{len(failures)} experiment point(s) failed:"]
+        for f in failures:
+            first = (f.error or "").strip().splitlines()
+            lines.append(f"  {f.exp_id} [{f.scenario.describe()}]: "
+                         f"{first[-1] if first else 'unknown error'}")
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class PointResult:
+    """Outcome of one (experiment, scenario) point."""
+
+    exp_id: str
+    scenario: Scenario
+    report: Optional[ExperimentReport] = None
+    error: Optional[str] = None  # formatted traceback on failure
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None
+
+
+# -- cache keys ----------------------------------------------------------
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (16 hex digits, memoized).
+
+    Part of the cache key: any edit to the package invalidates every
+    cached report, so the cache can never serve results produced by
+    different code.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        pkg_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(pkg_root.rglob("*.py")):
+            digest.update(str(path.relative_to(pkg_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def default_cache_dir() -> Path:
+    """Result-cache directory (override with ``REPRO_EXPERIMENTS_CACHE``)."""
+    env = os.environ.get("REPRO_EXPERIMENTS_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-experiments"
+
+
+def _cache_path(cache_dir: Path, exp_id: str, scenario: Scenario) -> Path:
+    return cache_dir / f"{exp_id}-{scenario.content_hash}-{code_version()}.json"
+
+
+def _cache_load(path: Path) -> Optional[ExperimentReport]:
+    try:
+        return ExperimentReport.from_json(path.read_text())
+    except (OSError, ValueError, KeyError, TypeError):
+        return None  # missing or corrupt entry -> recompute
+
+
+def _cache_store(path: Path, report: ExperimentReport) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Write-then-rename so concurrent workers never observe a torn file.
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(report.to_json())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+# -- the single entry path ----------------------------------------------
+
+
+def execute_point(
+    exp_id: str,
+    scenario: Scenario,
+    use_cache: bool = True,
+    cache_dir: Optional[Path] = None,
+) -> PointResult:
+    """Run one (experiment, scenario) point: cache lookup, driver, store.
+
+    This is the only place a driver is invoked — serial runs, pool
+    workers, the CLI and the registry all come through here, so caching
+    and error capture behave identically everywhere.
+    """
+    spec = get_spec(exp_id)
+    cdir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    path = _cache_path(cdir, exp_id, scenario)
+    if use_cache:
+        report = _cache_load(path)
+        if report is not None:
+            return PointResult(exp_id, scenario, report=report, cached=True)
+    try:
+        report = spec.driver(scenario)
+    except Exception:
+        return PointResult(exp_id, scenario, error=traceback.format_exc())
+    report.scenario = scenario.to_dict()
+    if use_cache:
+        _cache_store(path, report)
+    return PointResult(exp_id, scenario, report=report)
+
+
+def _pool_worker(args: Tuple[str, Dict[str, Any], bool, Optional[str]]):
+    """Top-level (picklable) pool entry: scenario travels as its dict form."""
+    exp_id, scenario_dict, use_cache, cache_dir = args
+    result = execute_point(
+        exp_id,
+        Scenario.from_dict(scenario_dict),
+        use_cache=use_cache,
+        cache_dir=Path(cache_dir) if cache_dir else None,
+    )
+    # Ship the JSON form back: ExperimentReport is plain data either way,
+    # and JSON keeps the parent <-> worker contract identical to the cache.
+    return (
+        result.exp_id,
+        result.report.to_json() if result.report is not None else None,
+        result.error,
+        result.cached,
+    )
+
+
+def run_points(
+    points: Sequence[Tuple[str, Scenario]],
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[Path] = None,
+) -> List[PointResult]:
+    """Execute points (optionally across a process pool), in input order.
+
+    The merge order is deterministic — results come back positionally, so
+    ``jobs=8`` produces exactly the reports ``jobs=1`` does.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs == 1 or len(points) <= 1:
+        return [
+            execute_point(e, s, use_cache=use_cache, cache_dir=cache_dir)
+            for e, s in points
+        ]
+    code_version()  # warm the memo so fork-started workers inherit it
+    payload = [
+        (e, s.to_dict(), use_cache, str(cache_dir) if cache_dir else None)
+        for e, s in points
+    ]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:
+        raw = list(pool.map(_pool_worker, payload))
+    results = []
+    for (exp_id, scenario), (rid, report_json, error, cached) in zip(points, raw):
+        assert rid == exp_id
+        results.append(
+            PointResult(
+                exp_id,
+                scenario,
+                report=ExperimentReport.from_json(report_json)
+                if report_json is not None
+                else None,
+                error=error,
+                cached=cached,
+            )
+        )
+    return results
+
+
+# -- experiment-level API ------------------------------------------------
+
+
+def merge_experiment(exp_id: str, results: List[PointResult]) -> ExperimentReport:
+    """Merge an experiment's point results into its single report.
+
+    Public so interfaces that keep partial results on failure (the CLI)
+    can reassemble reports through the same path ``run_all`` uses.
+    """
+    spec = get_spec(exp_id)
+    reports = [r.report for r in results if r.report is not None]
+    return merge_reports(exp_id, spec.title, reports)
+
+
+def run_experiment(
+    exp_id: str,
+    scenarios: Optional[Sequence[Scenario]] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[Path] = None,
+) -> ExperimentReport:
+    """Run one experiment over its (default or given) scenarios; merge."""
+    spec = get_spec(exp_id)
+    scens = tuple(scenarios) if scenarios is not None else spec.default_scenarios
+    results = run_points(
+        [(exp_id, s) for s in scens], jobs=jobs, use_cache=use_cache,
+        cache_dir=cache_dir,
+    )
+    failures = [r for r in results if not r.ok]
+    if failures:
+        raise ExperimentError(failures)
+    return merge_experiment(exp_id, results)
+
+
+def run_all(
+    ids: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[Path] = None,
+    scenarios: Optional[Sequence[Scenario]] = None,
+) -> List[ExperimentReport]:
+    """Run experiments in paper order and return one merged report each.
+
+    ``scenarios`` overrides the per-experiment defaults for *every*
+    selected experiment (the CLI's ``--scenario`` path builds on this via
+    override pairs instead).
+    """
+    selected = list(ids) if ids is not None else list(EXPERIMENTS)
+    points: List[Tuple[str, Scenario]] = []
+    for exp_id in selected:
+        spec = get_spec(exp_id)
+        for scen in scenarios if scenarios is not None else spec.default_scenarios:
+            points.append((exp_id, scen))
+    results = run_points(points, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    failures = [r for r in results if not r.ok]
+    if failures:
+        raise ExperimentError(failures)
+    by_exp: Dict[str, List[PointResult]] = {}
+    for res in results:
+        by_exp.setdefault(res.exp_id, []).append(res)
+    return [merge_experiment(exp_id, by_exp[exp_id]) for exp_id in selected]

@@ -1,0 +1,272 @@
+"""Declarative experiment scenarios.
+
+A :class:`Scenario` is the *data* an experiment driver runs against: which
+GPU architectures to measure, which multi-GPU node (and optionally how many
+GPUs / which interconnect topology), which GPU-count sweep points, and any
+workload knobs.  Drivers take a scenario instead of hard-coding
+P100/V100/DGX-1, which is what lets the registry sweep arbitrary
+(architecture x GPU count x topology) grids and lets the runner cache and
+parallelize individual (experiment, scenario) points.
+
+Scenarios are frozen, hashable, and **content-addressed**: two scenarios
+with equal knob values have equal :attr:`Scenario.content_hash`, which the
+result cache uses as part of its key.  ``to_dict``/``from_dict`` round-trip
+through JSON-native types only, so the hash is stable across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.arch import (
+    GPU_REGISTRY,
+    GPUSpec,
+    NodeSpec,
+    get_gpu_spec,
+    get_node_spec,
+)
+from repro.sim.interconnect import INTERCONNECT_KINDS, build_interconnect
+from repro.sim.node import Node
+
+__all__ = ["Scenario", "PAPER_SCENARIO", "parse_override", "apply_overrides"]
+
+
+def _canonical_node_name(name: str) -> str:
+    """Registry-key spelling of a node name (raises on unknown nodes)."""
+    from repro.sim.arch import NODE_REGISTRY
+
+    for key in NODE_REGISTRY:
+        if key.lower() == name.lower():
+            return key
+    get_node_spec(name)  # raises with the standard message
+    return name  # pragma: no cover - unreachable
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One point of the (architecture x GPU count x topology x knobs) grid.
+
+    Fields
+    ------
+    gpus:
+        GPU architectures the driver measures (registry names).  Single-GPU
+        experiments iterate these; the paper default is ``("V100", "P100")``.
+    node:
+        Multi-GPU node spec name (``DGX1``, ``DGX2``, ``P100x2``) for the
+        cross-GPU experiments.
+    gpu_count:
+        Override the node's GPU count (e.g. run the DGX-2 spec with 12
+        GPUs).  ``None`` keeps the node default.
+    interconnect:
+        Override the node's topology kind (``nvlink-cube-mesh``,
+        ``nvswitch``, ``ring``, ``pcie``).  ``None`` keeps the node default.
+    gpu_counts:
+        Sweep points for drivers that scan GPU count (Figs 7/8/9/16).
+        Empty means "use the driver's paper default".
+    size_bytes:
+        Payload size for the reduction experiments.  ``None`` = paper size.
+    extras:
+        Free-form ``(key, value)`` string pairs for driver-specific knobs;
+        kept sorted so equal contents always hash equally.
+    """
+
+    gpus: Tuple[str, ...] = ("V100", "P100")
+    node: str = "DGX1"
+    gpu_count: Optional[int] = None
+    interconnect: Optional[str] = None
+    gpu_counts: Tuple[int, ...] = ()
+    size_bytes: Optional[int] = None
+    extras: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalize sequence fields so list/tuple inputs compare and hash
+        # identically, canonicalize registry names so case variants share
+        # one content hash (lookups are case-insensitive), and validate
+        # every reference up front — a bad scenario should fail at
+        # construction, not mid-sweep.
+        if not self.gpus:
+            raise ValueError("scenario needs at least one GPU architecture")
+        for name in self.gpus:
+            if name.upper() not in GPU_REGISTRY:
+                raise ValueError(
+                    f"unknown GPU {name!r}; available: {sorted(GPU_REGISTRY)}"
+                )
+        object.__setattr__(self, "gpus", tuple(n.upper() for n in self.gpus))
+        object.__setattr__(self, "node", _canonical_node_name(self.node))
+        object.__setattr__(self, "gpu_counts", tuple(int(n) for n in self.gpu_counts))
+        object.__setattr__(
+            self,
+            "extras",
+            tuple(sorted((str(k), str(v)) for k, v in self.extras)),
+        )
+        if self.interconnect is not None and self.interconnect not in INTERCONNECT_KINDS:
+            raise ValueError(
+                f"unknown interconnect {self.interconnect!r}; "
+                f"available: {', '.join(INTERCONNECT_KINDS)}"
+            )
+        if self.gpu_count is not None and self.gpu_count < 1:
+            raise ValueError("gpu_count must be >= 1")
+        if any(n < 1 for n in self.gpu_counts):
+            raise ValueError("gpu_counts must all be >= 1")
+        if self.size_bytes is not None and self.size_bytes < 1:
+            raise ValueError("size_bytes must be >= 1")
+        # Cross-field check: the (node, interconnect, gpu_count) combination
+        # must actually build (e.g. the cube-mesh tops out at 8 GPUs, the
+        # NVSwitch backplane at 16) — catching it here turns a poisoned
+        # parallel sweep into a single construction-time error.
+        spec = self.node_spec()
+        try:
+            build_interconnect(spec.interconnect, spec.gpu_count)
+        except ValueError as exc:
+            raise ValueError(
+                f"scenario is not buildable ({spec.interconnect} x "
+                f"{spec.gpu_count} GPUs on {self.node}): {exc}"
+            ) from None
+        bad_sweep = [n for n in self.gpu_counts if n > spec.gpu_count]
+        if bad_sweep:
+            raise ValueError(
+                f"gpu_counts {bad_sweep} exceed the node's {spec.gpu_count} GPUs"
+            )
+
+    # -- resolution ------------------------------------------------------
+
+    def gpu_specs(self) -> List[GPUSpec]:
+        """The GPU architecture specs this scenario measures, in order."""
+        return [get_gpu_spec(name) for name in self.gpus]
+
+    def node_spec(self) -> NodeSpec:
+        """The node spec with any gpu_count / interconnect overrides applied."""
+        spec = get_node_spec(self.node)
+        if self.interconnect is not None and self.interconnect != spec.interconnect:
+            spec = replace(spec, interconnect=self.interconnect)
+        if self.gpu_count is not None and self.gpu_count != spec.gpu_count:
+            spec = replace(spec, gpu_count=self.gpu_count)
+        return spec
+
+    def build_node(self, gpu_count: Optional[int] = None) -> Node:
+        """Instantiate the node (optionally with fewer GPUs than the spec)."""
+        return Node(self.node_spec(), gpu_count=gpu_count)
+
+    def sweep_counts(self, default: Sequence[int]) -> Tuple[int, ...]:
+        """GPU-count sweep points: the scenario's, or ``default`` if unset.
+
+        When a ``gpu_count`` override shrinks the node below the driver's
+        paper-default sweep, the default is clamped to counts the node can
+        host (ending at the node's size), so ``--scenario gpu_count=4``
+        sweeps ``(1, 2, 4)`` on Fig 8 instead of crashing at ``n=5``.
+        """
+        if self.gpu_counts:
+            return self.gpu_counts
+        cap = self.node_spec().gpu_count
+        counts = tuple(n for n in default if n <= cap)
+        if max(default) > cap and cap not in counts:
+            counts += (cap,)
+        return counts
+
+    def extra(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Look up a free-form knob by key."""
+        for k, v in self.extras:
+            if k == key:
+                return v
+        return default
+
+    # -- identity --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native representation (lists, not tuples) — cache/CLI form."""
+        return {
+            "gpus": list(self.gpus),
+            "node": self.node,
+            "gpu_count": self.gpu_count,
+            "interconnect": self.interconnect,
+            "gpu_counts": list(self.gpu_counts),
+            "size_bytes": self.size_bytes,
+            "extras": [list(kv) for kv in self.extras],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        if "extras" in kwargs:
+            kwargs["extras"] = tuple(tuple(kv) for kv in kwargs["extras"])
+        return cls(**kwargs)
+
+    @property
+    def content_hash(self) -> str:
+        """Stable 16-hex-digit digest of the scenario's canonical form."""
+        canon = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+    def describe(self) -> str:
+        """Short human-readable label (CLI listings, report provenance)."""
+        parts = ["+".join(self.gpus)]
+        if self.node != "DGX1" or self.gpu_count or self.interconnect:
+            parts.append(self.node)
+        if self.gpu_count:
+            parts.append(f"{self.gpu_count}gpu")
+        if self.interconnect:
+            parts.append(self.interconnect)
+        if self.gpu_counts:
+            parts.append("n=" + ",".join(str(n) for n in self.gpu_counts))
+        if self.size_bytes:
+            parts.append(f"{self.size_bytes}B")
+        parts.extend(f"{k}={v}" for k, v in self.extras)
+        return ":".join(parts)
+
+
+# The paper's default machine room: measure both GPUs, multi-GPU work on
+# the DGX-1, every sweep at its published points.
+PAPER_SCENARIO = Scenario()
+
+
+# -- CLI overrides -------------------------------------------------------
+
+_LIST_FIELDS = {"gpus": str, "gpu_counts": int}
+_SCALAR_FIELDS = {
+    "node": str,
+    "gpu_count": int,
+    "interconnect": str,
+    "size_bytes": int,
+}
+
+
+def parse_override(pair: str) -> Tuple[str, Any]:
+    """Parse one ``key=value`` CLI override into a scenario field update.
+
+    List fields take comma-separated values (``gpus=V100,P100``,
+    ``gpu_counts=2,4,8``); unknown keys become ``extras`` entries.
+    """
+    if "=" not in pair:
+        raise ValueError(f"scenario override must be key=value, got {pair!r}")
+    key, raw = pair.split("=", 1)
+    key = key.strip()
+    raw = raw.strip()
+    if key in _LIST_FIELDS:
+        conv = _LIST_FIELDS[key]
+        return key, tuple(conv(item) for item in raw.split(",") if item)
+    if key in _SCALAR_FIELDS:
+        value = _SCALAR_FIELDS[key](raw)
+        return key, value
+    return "extras", (key, raw)
+
+
+def apply_overrides(scenario: Scenario, pairs: Sequence[str]) -> Scenario:
+    """Apply ``key=value`` overrides to a scenario, returning a new one."""
+    updates: Dict[str, Any] = {}
+    extras = dict(scenario.extras)
+    for pair in pairs:
+        key, value = parse_override(pair)
+        if key == "extras":
+            extras[value[0]] = value[1]
+        else:
+            updates[key] = value
+    if extras != dict(scenario.extras):
+        updates["extras"] = tuple(extras.items())
+    return replace(scenario, **updates) if updates else scenario

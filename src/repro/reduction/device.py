@@ -307,11 +307,13 @@ def latency_vs_size(
     """Fig 15: latency of each method across input sizes."""
     if sizes is None:
         sizes = FIG15_SIZES_V100 if spec.name == "V100" else FIG15_SIZES_P100
+    # One input per size, shared by every method: the methods only read the
+    # data, and regenerating 8M-element arrays per method dominated the
+    # sweep's wall-clock.
+    inputs = [make_input(s, seed) for s in sizes]
     out: Dict[str, List[ReductionResult]] = {}
     for method in methods:
-        out[method] = [
-            _dispatch(spec, method, make_input(s, seed), seed) for s in sizes
-        ]
+        out[method] = [_dispatch(spec, method, data, seed) for data in inputs]
     return out
 
 

@@ -35,6 +35,7 @@ __all__ = [
     "V100",
     "P100",
     "DGX1_V100",
+    "DGX2_V100",
     "P100_PCIE_NODE",
     "get_gpu_spec",
     "get_node_spec",
@@ -646,6 +647,26 @@ DGX1_V100 = NodeSpec(
     ),
 )
 
+# DGX-2-style box: 16 V100s on an NVSwitch crossbar.  Not a paper platform —
+# it exists for scenario sweeps beyond the DGX-1 cube-mesh.  Every pair of
+# GPUs is one switch traversal apart, so the calibration drops the two-hop
+# penalty entirely and charges a slightly higher per-GPU increment for the
+# switch traversal; the 1-hop base matches the DGX-1 fit so that the 2-GPU
+# configurations of both boxes coincide.
+DGX2_V100 = NodeSpec(
+    name="DGX-2 (16x V100, NVSwitch)",
+    gpu=V100,
+    gpu_count=16,
+    interconnect="nvswitch",
+    cross_gpu=CrossGpuCalib(
+        base_ns=4830.0,
+        per_gpu_ns=240.0,
+        hop2_penalty_ns=0.0,
+        per_2hop_gpu_ns=0.0,
+        release_coef_ns=110.0,
+    ),
+)
+
 # Dual-P100 server over PCIe. [F7]
 P100_PCIE_NODE = NodeSpec(
     name="2x P100 (PCIe)",
@@ -665,6 +686,7 @@ P100_PCIE_NODE = NodeSpec(
 GPU_REGISTRY: Dict[str, GPUSpec] = {"V100": V100, "P100": P100}
 NODE_REGISTRY: Dict[str, NodeSpec] = {
     "DGX1": DGX1_V100,
+    "DGX2": DGX2_V100,
     "P100x2": P100_PCIE_NODE,
 }
 

@@ -128,6 +128,62 @@ class Timeout:
         return f"Timeout({self.delay!r})"
 
 
+class _WaiterBatch:
+    """One ready-queue record standing in for a whole waiter list.
+
+    Firing a signal with thousands of waiters (a barrier release wavefront)
+    used to enqueue one ``(seq, proc, value)`` record per waiter.  Instead,
+    large waiter lists are enqueued as a *single* record whose target is a
+    ``_WaiterBatch``; the run loop dispatches it like a signal (via
+    ``fire``), which steps every waiter in subscription order.  Ordering is
+    unchanged: the batched waiters held consecutive positions in the ready
+    deque anyway, and any event a resumed waiter schedules lands *after*
+    the batch record — exactly where it would have landed after that
+    waiter's individual record.  The one per-waiter mechanism that must not
+    see the emptier ready deque is the zero-delay trampoline (it would run
+    a member's *continuation* before later members wake), so member steps
+    run with ``engine._batch_depth`` raised and the trampoline disabled.
+    """
+
+    __slots__ = ("engine", "procs")
+
+    def __init__(self, engine: "Engine", procs: list["Process"]):
+        self.engine = engine
+        self.procs = procs
+
+    def fire(self, value: Any) -> None:
+        engine = self.engine
+        procs = self.procs
+        stepped = 0
+        engine._batch_depth += 1
+        try:
+            for proc in procs:
+                stepped += 1
+                proc._step(value)
+        except BaseException:
+            # A member with an unobserved failure re-raises out of _step.
+            # The unstepped members must not vanish with this record — in
+            # unbatched mode their resume records would still sit at the
+            # front of the ready deque, resumable by a later run().
+            rest = procs[stepped:]
+            if rest:
+                engine._ready.appendleft(
+                    (next(engine._seq), _WaiterBatch(engine, rest), value)
+                )
+            raise
+        finally:
+            engine._batch_depth -= 1
+            # The run loop counts this record once; account for the other
+            # members actually stepped so events/s matches unbatched runs.
+            engine.event_count += stepped - 1
+
+
+# Waiter lists at least this long are resumed through a _WaiterBatch.
+# Short lists keep the per-waiter records: the batch object costs one
+# allocation, which only pays off once it replaces several tuples.
+_BATCH_FIRE_THRESHOLD = 8
+
+
 class Signal:
     """One-shot broadcast event.
 
@@ -158,10 +214,15 @@ class Signal:
         if self._waiters:
             waiters, self._waiters = self._waiters, []
             engine = self.engine
-            ready = engine._ready
-            seq = engine._seq
-            for proc in waiters:
-                ready.append((next(seq), proc, value))
+            if len(waiters) >= _BATCH_FIRE_THRESHOLD:
+                engine._ready.append(
+                    (next(engine._seq), _WaiterBatch(engine, waiters), value)
+                )
+            else:
+                ready = engine._ready
+                seq = engine._seq
+                for proc in waiters:
+                    ready.append((next(seq), proc, value))
 
     def reset(self, name: Optional[str] = None) -> "Signal":
         """Re-arm a fired signal for another round (reusable-signal pattern).
@@ -337,7 +398,15 @@ class Process:
                 if delay == 0.0:
                     ready = engine._ready
                     heap = engine._heap
-                    if not ready and (not heap or heap[0][0] > engine.now):
+                    # The batch-depth guard: while a _WaiterBatch is mid-
+                    # dispatch, its unstepped members are runnable even
+                    # though the queues look empty — the trampoline would
+                    # run this member's continuation ahead of them.
+                    if (
+                        not ready
+                        and not engine._batch_depth
+                        and (not heap or heap[0][0] > engine.now)
+                    ):
                         # Sole runnable event: the queued resume would be
                         # dispatched immediately anyway, so step inline
                         # (trampoline) and skip the queue round-trip.
@@ -528,6 +597,8 @@ def _describe_event(target: Any, payload: Any) -> str:
         return getattr(payload, "__qualname__", repr(payload))
     if isinstance(target, Process):
         return f"resume {target.name}"
+    if isinstance(target, _WaiterBatch):
+        return f"resume batch of {len(target.procs)}"
     return f"fire {target.name}"
 
 
@@ -555,6 +626,7 @@ class Engine:
         self._ready: deque[tuple[int, Any, Any]] = deque()
         self._seq = itertools.count()
         self._live: set[Process] = set()
+        self._batch_depth = 0  # >0 while a _WaiterBatch steps its members
         self.trace = trace
         self.trace_log: list[tuple[float, str]] = []
         self.event_count = 0

@@ -28,9 +28,12 @@ import networkx as nx
 __all__ = [
     "Interconnect",
     "build_dgx1_nvlink",
+    "build_nvswitch",
+    "build_ring",
     "build_pcie",
     "build_interconnect",
     "DGX1_NVLINK_LINKS",
+    "INTERCONNECT_KINDS",
 ]
 
 # Hybrid cube-mesh of the V100 DGX-1 (single-link edges; the doubled links
@@ -118,6 +121,43 @@ def build_dgx1_nvlink() -> Interconnect:
     return Interconnect("dgx1-nvlink", g, LinkSpec(latency_ns=700.0, bandwidth_gbps=25.0))
 
 
+def build_nvswitch(gpu_count: int = 16) -> Interconnect:
+    """DGX-2-style NVSwitch fabric: a non-blocking crossbar.
+
+    Every GPU pair is exactly one switch traversal apart regardless of
+    count, so scenario sweeps over an NVSwitch node show *no* two-hop
+    plateau — the structural contrast to the DGX-1 cube-mesh.  Modeled as
+    a complete graph (the switch ASICs are transparent to hop counting);
+    NVLink 2.0 per-link bandwidth, slightly higher latency than a direct
+    NVLink hop for the switch traversal.
+    """
+    if gpu_count < 1:
+        raise ValueError("gpu_count must be >= 1")
+    if gpu_count > 16:
+        raise ValueError(f"NVSwitch backplane tops out at 16 GPUs, requested {gpu_count}")
+    g: nx.Graph = nx.complete_graph(gpu_count)  # n nodes even when n == 1
+    return Interconnect("nvswitch", g, LinkSpec(latency_ns=900.0, bandwidth_gbps=25.0))
+
+
+def build_ring(gpu_count: int = 8) -> Interconnect:
+    """Unidirectional-bandwidth ring (NCCL-style allreduce topology).
+
+    Hop counts grow linearly with ring distance (max ``n // 2``), the
+    opposite extreme to the NVSwitch crossbar: barrier sweeps over a ring
+    show a latency *staircase* instead of the DGX-1's single plateau jump.
+    """
+    if gpu_count < 1:
+        raise ValueError("gpu_count must be >= 1")
+    g = nx.Graph()
+    g.add_nodes_from(range(gpu_count))
+    if gpu_count == 2:
+        g.add_edge(0, 1)
+    elif gpu_count > 2:
+        for i in range(gpu_count):
+            g.add_edge(i, (i + 1) % gpu_count)
+    return Interconnect("ring", g, LinkSpec(latency_ns=700.0, bandwidth_gbps=25.0))
+
+
 def build_pcie(gpu_count: int = 2) -> Interconnect:
     """PCIe tree: every GPU pair communicates through the host root complex.
 
@@ -134,6 +174,11 @@ def build_pcie(gpu_count: int = 2) -> Interconnect:
     return Interconnect("pcie", g, LinkSpec(latency_ns=1900.0, bandwidth_gbps=11.0))
 
 
+# Topology kinds accepted by :func:`build_interconnect` (and therefore by
+# ``Scenario.interconnect`` overrides on the experiment CLI).
+INTERCONNECT_KINDS = ("nvlink-cube-mesh", "nvswitch", "ring", "pcie")
+
+
 def build_interconnect(kind: str, gpu_count: int) -> Interconnect:
     """Factory used by :class:`repro.sim.node.Node`."""
     if kind == "nvlink-cube-mesh":
@@ -144,6 +189,12 @@ def build_interconnect(kind: str, gpu_count: int) -> Interconnect:
             sub = ic.graph.subgraph(range(gpu_count)).copy()
             return Interconnect("dgx1-nvlink", sub, ic.link)
         return ic
+    if kind == "nvswitch":
+        return build_nvswitch(gpu_count)
+    if kind == "ring":
+        return build_ring(gpu_count)
     if kind == "pcie":
         return build_pcie(gpu_count)
-    raise ValueError(f"unknown interconnect kind {kind!r}")
+    raise ValueError(
+        f"unknown interconnect kind {kind!r}; available: {', '.join(INTERCONNECT_KINDS)}"
+    )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.experiments.base import ComparisonRow, ExperimentReport
@@ -62,17 +64,117 @@ class TestRegistry:
             assert rep.mean_rel_err is not None and rep.mean_rel_err < 0.10, exp_id
 
 
+class TestSpecs:
+    def test_ids_match_keys(self):
+        for exp_id, spec in EXPERIMENTS.items():
+            assert spec.id == exp_id
+
+    def test_every_spec_has_scenarios_title_tags(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.default_scenarios
+            assert spec.title
+            assert spec.tags
+
+    def test_tolerances_match_current_reproduction(self):
+        """Every default run must land inside the CLI's tolerance gate."""
+        for spec in EXPERIMENTS.values():
+            rep = run_experiment(spec.id)
+            if spec.tolerance is not None and rep.mean_rel_err is not None:
+                assert rep.mean_rel_err <= spec.tolerance, spec.id
+
+
 class TestCli:
     def test_list(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
         assert "table1" in out and "fig16" in out
 
+    def test_list_shows_titles_and_tags(self, capsys):
+        main(["--list"])
+        out = capsys.readouterr().out
+        assert "Warp-level synchronization" in out  # title
+        assert "[reduction, multi-gpu]" in out  # tags
+
     def test_run_single(self, capsys):
-        assert main(["table5"]) == 0
+        assert main(["table5", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "sum 32 doubles" in out
 
     def test_unknown_id_exit_code(self, capsys):
         assert main(["nope"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_json_output_parses_and_is_lossless(self, capsys, tmp_path):
+        assert main(["table4", "--json", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        [data] = json.loads(out)
+        rep = ExperimentReport.from_dict(data)
+        assert rep.exp_id == "table4"
+        assert rep.rows and rep.scenario["points"]
+
+    def test_jobs_matches_serial_output(self, capsys, tmp_path):
+        assert main(["table4", "deadlock", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(["table4", "deadlock", "--jobs", "2", "--cache-dir", str(tmp_path)])
+            == 0
+        )
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_cache_roundtrip_output_identical(self, capsys, tmp_path):
+        args = ["table4", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_scenario_override_narrows_gpus(self, capsys):
+        assert main(["table4", "--no-cache", "--scenario", "gpus=P100"]) == 0
+        out = capsys.readouterr().out
+        # Rows for P100 only (the qualitative note still mentions both).
+        assert "P100 warp sync latency" in out
+        assert "V100 warp sync latency" not in out
+        # Overrides collapsed both per-GPU defaults into one scenario; the
+        # deduped point must run once, not once per default.
+        assert out.count("P100 warp sync latency") == 1
+
+    def test_gpu_count_override_clamps_sweeps(self, capsys):
+        """--scenario gpu_count=4 must clamp Fig 8's paper sweep, not crash."""
+        assert (
+            main(["fig8", "--no-cache", "--scenario", "gpu_count=4"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "V100 x4" in out and "x5" not in out
+
+    def test_bad_scenario_override_exit_code(self, capsys):
+        assert main(["table4", "--scenario", "gpus=K80"]) == 2
+        assert "bad --scenario" in capsys.readouterr().err
+
+    def test_driver_failure_exit_code(self, capsys, monkeypatch, tmp_path):
+        from dataclasses import replace
+
+        from repro.experiments import registry
+
+        def boom(scenario):
+            raise RuntimeError("smoke")
+
+        monkeypatch.setitem(
+            registry.EXPERIMENTS, "table4", replace(EXPERIMENTS["table4"], driver=boom)
+        )
+        assert main(["table4", "--cache-dir", str(tmp_path)]) == 1
+        assert "smoke" in capsys.readouterr().err
+
+    def test_tolerance_exceeded_exit_code(self, capsys, monkeypatch, tmp_path):
+        from dataclasses import replace
+
+        from repro.experiments import registry
+
+        monkeypatch.setitem(
+            registry.EXPERIMENTS,
+            "table4",
+            replace(EXPERIMENTS["table4"], tolerance=-1.0),
+        )
+        assert main(["table4", "--no-cache"]) == 1
+        assert "exceeded tolerance" in capsys.readouterr().err

@@ -44,7 +44,9 @@ class TestWriteFile:
         import repro.experiments.report as report_mod
 
         monkeypatch.setattr(
-            report_mod, "experiments_markdown", lambda: experiments_markdown(_fake_reports())
+            report_mod,
+            "experiments_markdown",
+            lambda **kw: experiments_markdown(_fake_reports()),
         )
         out = write_experiments_md(tmp_path / "E.md")
         text = out.read_text()

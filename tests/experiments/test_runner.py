@@ -1,0 +1,173 @@
+"""Tests for the execution layer: single entry path, cache, parallelism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.registry import EXPERIMENTS, get_spec
+from repro.experiments.scenario import Scenario
+
+# A fast subset covering single- and multi-GPU drivers.
+FAST_IDS = ["table1", "table4", "fig8", "deadlock"]
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+class TestCodeVersion:
+    def test_stable_within_process(self):
+        assert runner.code_version() == runner.code_version()
+
+    def test_is_hex_digest(self):
+        v = runner.code_version()
+        assert len(v) == 16
+        int(v, 16)
+
+
+class TestExecutePoint:
+    def test_runs_and_stamps_scenario(self, cache_dir):
+        scen = Scenario(gpus=("V100",))
+        res = runner.execute_point("table4", scen, cache_dir=cache_dir)
+        assert res.ok and not res.cached
+        assert res.report.scenario == scen.to_dict()
+
+    def test_cache_round_trip_is_lossless(self, cache_dir):
+        scen = Scenario(gpus=("V100",))
+        fresh = runner.execute_point("table4", scen, cache_dir=cache_dir)
+        hit = runner.execute_point("table4", scen, cache_dir=cache_dir)
+        assert hit.cached
+        assert hit.report == fresh.report
+        assert hit.report.render() == fresh.report.render()
+
+    def test_no_cache_bypasses_store_and_load(self, cache_dir):
+        scen = Scenario(gpus=("V100",))
+        runner.execute_point("table4", scen, use_cache=False, cache_dir=cache_dir)
+        assert not cache_dir.exists()  # nothing stored
+        res = runner.execute_point("table4", scen, use_cache=False, cache_dir=cache_dir)
+        assert not res.cached
+
+    def test_cache_key_includes_scenario_hash(self, cache_dir):
+        runner.execute_point("table4", Scenario(gpus=("V100",)), cache_dir=cache_dir)
+        runner.execute_point("table4", Scenario(gpus=("P100",)), cache_dir=cache_dir)
+        assert len(list(cache_dir.glob("table4-*.json"))) == 2
+
+    def test_cache_key_includes_code_version(self, cache_dir, monkeypatch):
+        scen = Scenario(gpus=("V100",))
+        runner.execute_point("table4", scen, cache_dir=cache_dir)
+        monkeypatch.setattr(runner, "_CODE_VERSION", "deadbeefdeadbeef")
+        res = runner.execute_point("table4", scen, cache_dir=cache_dir)
+        assert not res.cached  # old entry invisible under the new version
+
+    @pytest.mark.parametrize("garbage", ["{not json", "[1, 2, 3]", '{"a": 1}'])
+    def test_corrupt_cache_entry_recomputed(self, cache_dir, garbage):
+        scen = Scenario(gpus=("V100",))
+        first = runner.execute_point("table4", scen, cache_dir=cache_dir)
+        [path] = list(cache_dir.glob("table4-*.json"))
+        path.write_text(garbage)
+        res = runner.execute_point("table4", scen, cache_dir=cache_dir)
+        assert res.ok and not res.cached
+        assert res.report == first.report
+
+    def test_driver_failure_captured_not_raised(self, cache_dir, monkeypatch):
+        from dataclasses import replace
+
+        from repro.experiments import registry
+
+        def boom(scenario):
+            raise RuntimeError("driver exploded")
+
+        monkeypatch.setitem(
+            registry.EXPERIMENTS, "table4", replace(get_spec("table4"), driver=boom)
+        )
+        res = runner.execute_point("table4", Scenario(gpus=("V100",)), cache_dir=cache_dir)
+        assert not res.ok
+        assert "driver exploded" in res.error
+        # failures are never cached
+        assert not list(cache_dir.glob("table4-*.json")) if cache_dir.exists() else True
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            runner.execute_point("nope", Scenario())
+
+
+class TestRunPoints:
+    def test_serial_parallel_cached_byte_identical(self, cache_dir):
+        points = [
+            (e, s) for e in FAST_IDS for s in EXPERIMENTS[e].default_scenarios
+        ]
+        serial = runner.run_points(points, jobs=1, use_cache=False)
+        parallel = runner.run_points(points, jobs=2, use_cache=True, cache_dir=cache_dir)
+        cached = runner.run_points(points, jobs=1, use_cache=True, cache_dir=cache_dir)
+        assert all(r.cached for r in cached)
+        for a, b, c in zip(serial, parallel, cached):
+            assert a.report == b.report == c.report
+            assert a.report.render() == b.report.render() == c.report.render()
+            assert a.report.to_json() == b.report.to_json() == c.report.to_json()
+
+    def test_results_in_input_order(self, cache_dir):
+        points = [
+            ("table4", Scenario(gpus=("P100",))),
+            ("table1", Scenario(gpus=("V100",))),
+            ("table4", Scenario(gpus=("V100",))),
+        ]
+        results = runner.run_points(points, jobs=2, cache_dir=cache_dir)
+        assert [(r.exp_id, r.scenario) for r in results] == points
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ValueError):
+            runner.run_points([], jobs=0)
+
+
+class TestExperimentApi:
+    def test_run_experiment_merges_default_scenarios(self, cache_dir):
+        rep = runner.run_experiment("table4", cache_dir=cache_dir)
+        labels = [r.label for r in rep.rows]
+        assert any(l.startswith("V100") for l in labels)
+        assert any(l.startswith("P100") for l in labels)
+        assert rep.title == get_spec("table4").title
+        assert len(rep.scenario["points"]) == 2
+
+    def test_run_experiment_custom_scenario(self, cache_dir):
+        rep = runner.run_experiment(
+            "table4", scenarios=[Scenario(gpus=("P100",))], cache_dir=cache_dir
+        )
+        assert all(r.label.startswith("P100") for r in rep.rows)
+
+    def test_run_all_paper_order_and_selection(self, cache_dir):
+        reps = runner.run_all(ids=["table4", "table1"], cache_dir=cache_dir)
+        assert [r.exp_id for r in reps] == ["table4", "table1"]
+
+    def test_run_all_aggregates_failures(self, cache_dir, monkeypatch):
+        from dataclasses import replace
+
+        from repro.experiments import registry
+
+        def boom(scenario):
+            raise RuntimeError("kaput")
+
+        monkeypatch.setitem(
+            registry.EXPERIMENTS, "table4", replace(get_spec("table4"), driver=boom)
+        )
+        with pytest.raises(runner.ExperimentError, match="kaput"):
+            runner.run_all(ids=["table4"], cache_dir=cache_dir)
+
+    def test_registry_delegates_to_runner(self):
+        """registry.run_all and run_experiment share the single entry path."""
+        from repro.experiments import registry
+
+        calls = []
+        orig = runner.execute_point
+
+        def spy(exp_id, scenario, **kw):
+            calls.append(exp_id)
+            return orig(exp_id, scenario, **kw)
+
+        import unittest.mock as mock
+
+        with mock.patch.object(runner, "execute_point", side_effect=spy):
+            registry.run_experiment("table4")
+            registry.run_all(ids=["table1"])
+        assert calls == ["table4", "table4", "table1"]

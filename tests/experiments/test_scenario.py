@@ -1,0 +1,154 @@
+"""Tests for the declarative scenario layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import (
+    PAPER_SCENARIO,
+    Scenario,
+    apply_overrides,
+    parse_override,
+)
+
+
+class TestConstruction:
+    def test_paper_default(self):
+        assert PAPER_SCENARIO.gpus == ("V100", "P100")
+        assert PAPER_SCENARIO.node == "DGX1"
+
+    def test_sequences_normalized_to_tuples(self):
+        s = Scenario(gpus=["V100"], gpu_counts=[2, 4])
+        assert s.gpus == ("V100",)
+        assert s.gpu_counts == (2, 4)
+
+    def test_extras_sorted_for_stable_identity(self):
+        a = Scenario(extras=(("b", "2"), ("a", "1")))
+        b = Scenario(extras=(("a", "1"), ("b", "2")))
+        assert a == b
+        assert a.content_hash == b.content_hash
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"gpus": ()},
+            {"gpus": ("K80",)},
+            {"node": "DGX9"},
+            {"interconnect": "infiniband"},
+            {"gpu_count": 0},
+            {"gpu_counts": (0,)},
+            {"size_bytes": 0},
+            # Cross-field combinations that cannot build:
+            {"node": "DGX2", "interconnect": "nvlink-cube-mesh"},  # mesh caps at 8
+            {"gpu_count": 9},  # DGX1 cube-mesh has 8 GPUs
+            {"node": "DGX2", "gpu_count": 17},  # NVSwitch caps at 16
+            {"gpu_count": 4, "gpu_counts": (2, 5)},  # sweep beyond the node
+        ],
+    )
+    def test_invalid_rejected_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            Scenario(**kwargs)
+
+    def test_buildable_cross_field_combinations_accepted(self):
+        Scenario(node="DGX1", interconnect="nvswitch", gpu_count=16)
+        Scenario(node="DGX2", gpu_count=12, gpu_counts=(2, 12))
+        Scenario(interconnect="ring", gpu_count=6)
+
+
+class TestResolution:
+    def test_gpu_specs_in_order(self):
+        names = [s.name for s in Scenario(gpus=("P100", "V100")).gpu_specs()]
+        assert names == ["P100", "V100"]
+
+    def test_node_spec_overrides(self):
+        s = Scenario(gpus=("V100",), node="DGX1", interconnect="nvswitch", gpu_count=6)
+        spec = s.node_spec()
+        assert spec.interconnect == "nvswitch"
+        assert spec.gpu_count == 6
+
+    def test_build_node_applies_topology(self):
+        node = Scenario(gpus=("V100",), interconnect="ring").build_node()
+        assert node.interconnect.name == "ring"
+        assert node.interconnect.hops(0, 4) == 4  # ring distance, not cube-mesh
+
+    def test_sweep_counts_default_passthrough(self):
+        assert PAPER_SCENARIO.sweep_counts((1, 2)) == (1, 2)
+        assert Scenario(gpu_counts=(4, 8)).sweep_counts((1, 2)) == (4, 8)
+
+    def test_sweep_counts_clamped_to_shrunk_node(self):
+        """A gpu_count override below the paper sweep must clamp the
+        default points (ending at the node size) instead of crashing."""
+        s = Scenario(gpus=("V100",), gpu_count=4)
+        assert s.sweep_counts((1, 2, 5, 6, 8)) == (1, 2, 4)
+        assert s.sweep_counts((1, 2, 4)) == (1, 2, 4)
+
+    def test_extra_lookup(self):
+        s = Scenario(extras=(("k", "v"),))
+        assert s.extra("k") == "v"
+        assert s.extra("missing", "d") == "d"
+
+
+class TestIdentity:
+    def test_roundtrip_preserves_equality_and_hash(self):
+        s = Scenario(
+            gpus=("V100",), node="DGX2", gpu_count=12, interconnect="nvswitch",
+            gpu_counts=(2, 4, 8), size_bytes=1 << 30, extras=(("x", "1"),),
+        )
+        back = Scenario.from_dict(s.to_dict())
+        assert back == s
+        assert back.content_hash == s.content_hash
+
+    def test_hash_changes_with_content(self):
+        assert (
+            Scenario(gpus=("V100",)).content_hash
+            != Scenario(gpus=("P100",)).content_hash
+        )
+
+    def test_case_variants_share_identity(self):
+        """Lookups are case-insensitive, so case variants must canonicalize
+        to one scenario — otherwise the cache stores duplicate entries."""
+        a = Scenario(gpus=("v100",), node="dgx1")
+        b = Scenario(gpus=("V100",), node="DGX1")
+        assert a == b
+        assert a.content_hash == b.content_hash
+        assert a.gpus == ("V100",) and a.node == "DGX1"
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown scenario fields"):
+            Scenario.from_dict({"gpus": ["V100"], "bogus": 1})
+
+    def test_describe_mentions_distinctives(self):
+        s = Scenario(gpus=("V100",), node="DGX2", interconnect="nvswitch")
+        d = s.describe()
+        assert "V100" in d and "DGX2" in d and "nvswitch" in d
+
+
+class TestOverrides:
+    def test_parse_list_fields(self):
+        assert parse_override("gpus=V100,P100") == ("gpus", ("V100", "P100"))
+        assert parse_override("gpu_counts=2,4") == ("gpu_counts", (2, 4))
+
+    def test_parse_scalar_fields(self):
+        assert parse_override("gpu_count=4") == ("gpu_count", 4)
+        assert parse_override("node=DGX2") == ("node", "DGX2")
+
+    def test_unknown_key_becomes_extra(self):
+        assert parse_override("knob=7") == ("extras", ("knob", "7"))
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_override("gpus")
+
+    def test_apply_overrides(self):
+        s = apply_overrides(
+            PAPER_SCENARIO, ["gpus=V100", "interconnect=ring", "knob=7"]
+        )
+        assert s.gpus == ("V100",)
+        assert s.interconnect == "ring"
+        assert s.extra("knob") == "7"
+        # original untouched
+        assert PAPER_SCENARIO.interconnect is None
+
+    def test_apply_overrides_validates(self):
+        with pytest.raises(ValueError):
+            apply_overrides(PAPER_SCENARIO, ["gpu_count=0"])

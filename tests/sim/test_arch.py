@@ -33,11 +33,17 @@ class TestRegistry:
 
     def test_unknown_node_raises(self):
         with pytest.raises(ValueError):
-            get_node_spec("dgx2")
+            get_node_spec("dgx9")
 
     def test_registries_consistent(self):
         assert set(GPU_REGISTRY) == {"V100", "P100"}
-        assert set(NODE_REGISTRY) == {"DGX1", "P100x2"}
+        assert set(NODE_REGISTRY) == {"DGX1", "DGX2", "P100x2"}
+
+    def test_dgx2_is_a_one_hop_fabric(self):
+        spec = get_node_spec("DGX2")
+        assert spec.gpu_count == 16
+        assert spec.interconnect == "nvswitch"
+        assert spec.cross_gpu.hop2_penalty_ns == 0.0
 
 
 class TestHardwareLimits:

@@ -259,6 +259,167 @@ class TestSignals:
         assert got == [11]
 
 
+class TestBatchedFire:
+    """Signal.fire enqueues one batch record for large waiter lists; the
+    observable semantics (wake order, values, interleaving, deadlock
+    reporting) must be identical to per-waiter records."""
+
+    N = 1000  # far above the batching threshold
+
+    def test_fanout_wakes_all_in_fifo_order(self):
+        eng = Engine()
+        sig = eng.signal("release")
+        woken = []
+
+        def waiter(i):
+            got = yield sig
+            woken.append((i, got, eng.now))
+
+        for i in range(self.N):
+            eng.process(waiter(i), name=f"w{i}")
+        eng.schedule(3.0, lambda: sig.fire("v"))
+        eng.run()
+        assert woken == [(i, "v", 3.0) for i in range(self.N)]
+
+    def test_batch_resumes_before_later_scheduled_events(self):
+        """Events scheduled after the fire (same timestamp) must run after
+        every batched waiter — the ordering a single heap would produce."""
+        eng = Engine()
+        sig = eng.signal("s")
+        order = []
+
+        def waiter(i):
+            yield sig
+            order.append(f"w{i}")
+
+        for i in range(self.N):
+            eng.process(waiter(i), name=f"w{i}")
+
+        def firer():
+            yield Timeout(1.0)
+            sig.fire()
+            eng.schedule(0.0, lambda: order.append("after"))
+
+        eng.process(firer(), name="firer")
+        eng.run()
+        assert order[-1] == "after"
+        assert order[:-1] == [f"w{i}" for i in range(self.N)]
+
+    def test_event_count_matches_unbatched_semantics(self):
+        eng = Engine()
+        sig = eng.signal("s")
+
+        def waiter():
+            yield sig
+
+        for i in range(self.N):
+            eng.process(waiter(), name=f"w{i}")
+        eng.schedule_fire(1.0, sig)
+        eng.run()
+        # N initial steps + 1 fire record + N resumes (the batch counts as
+        # its member resumes, not as a single event).
+        assert eng.event_count == 2 * self.N + 1
+
+    def test_continuations_run_after_all_members_wake(self):
+        """Regression: a member yielding Timeout(0.0) after the wake must
+        not trampoline its continuation ahead of later batch members —
+        exact unbatched order is wake0..wakeN, then cont0..contN."""
+        eng = Engine()
+        sig = eng.signal("s")
+        order = []
+        n = 20
+
+        def waiter(i):
+            yield sig
+            order.append(f"wake{i}")
+            yield Timeout(0.0)
+            order.append(f"cont{i}")
+
+        for i in range(n):
+            eng.process(waiter(i), name=f"w{i}")
+        eng.schedule_fire(1.0, sig)
+        eng.run()
+        expected = [f"wake{i}" for i in range(n)] + [f"cont{i}" for i in range(n)]
+        assert order == expected
+
+    def test_matches_unbatched_order_with_mixed_yields(self):
+        """Batched and (forced) unbatched fires must interleave identically
+        even when members re-yield timeouts, signals, and resources."""
+        import repro.sim.engine as engine_mod
+
+        def scenario():
+            eng = Engine()
+            sig = eng.signal("go")
+            res = eng.resource(capacity=2, name="port")
+            order = []
+            n = 12
+
+            def waiter(i):
+                yield sig
+                order.append(f"wake{i}")
+                if i % 3 == 0:
+                    yield Timeout(0.0)
+                elif i % 3 == 1:
+                    yield res.acquire()
+                    yield Timeout(1.0)
+                    res.release()
+                order.append(f"done{i}")
+
+            for i in range(n):
+                eng.process(waiter(i), name=f"w{i}")
+            eng.schedule_fire(1.0, sig)
+            eng.run()
+            return order
+
+        batched = scenario()
+        original = engine_mod._BATCH_FIRE_THRESHOLD
+        engine_mod._BATCH_FIRE_THRESHOLD = 10**9
+        try:
+            unbatched = scenario()
+        finally:
+            engine_mod._BATCH_FIRE_THRESHOLD = original
+        assert batched == unbatched
+
+    def test_member_failure_does_not_drop_later_members(self):
+        """Regression: if one member's unobserved exception escapes the
+        batch dispatch, the unstepped members must survive for a later
+        run() — exactly like unbatched resume records left in the deque."""
+        eng = Engine()
+        sig = eng.signal("s")
+        done = []
+        n = 10
+
+        def waiter(i):
+            yield sig
+            if i == 2:
+                raise RuntimeError("boom")
+            done.append(i)
+
+        for i in range(n):
+            eng.process(waiter(i), name=f"w{i}")
+        eng.schedule_fire(1.0, sig)
+        with pytest.raises(RuntimeError, match="boom"):
+            eng.run()
+        eng.run()  # survivors resume from the re-enqueued batch
+        assert done == [0, 1] + list(range(3, n))
+
+    def test_waiters_that_block_again_are_reported_on_deadlock(self):
+        eng = Engine()
+        sig = eng.signal("round1")
+        stuck = eng.signal("never")
+
+        def waiter(i):
+            yield sig
+            yield stuck
+
+        for i in range(self.N):
+            eng.process(waiter(i), name=f"w{i}")
+        eng.schedule_fire(1.0, sig)
+        with pytest.raises(DeadlockError) as exc:
+            eng.run()
+        assert len(exc.value.blocked) == self.N
+
+
 class TestResources:
     def test_capacity_one_serializes(self):
         eng = Engine()
