@@ -18,13 +18,13 @@ import pytest
 from benchmarks.conftest import attach_report
 from repro.experiments.paper_data import FIG5_GRID_SYNC_US, FIG8_MULTIGRID_V100_US
 from repro.sim.arch import DGX1_V100, V100
-from repro.sim.device import simulate_grid_sync
+from repro.sync import GridGroup
 from repro.sim.node import Node, cross_gpu_latency_ns
 
 
 def _fig5_mean_err(spec) -> float:
     errs = [
-        abs(simulate_grid_sync(spec, b, t).latency_per_sync_us - paper) / paper
+        abs(GridGroup(spec, b, t).simulate().latency_per_sync_us - paper) / paper
         for (b, t), paper in FIG5_GRID_SYNC_US["V100"].items()
     ]
     return float(np.mean(errs))

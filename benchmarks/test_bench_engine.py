@@ -97,6 +97,22 @@ def _signal_fanout() -> int:
     return eng.event_count
 
 
+def _grid_sync_group() -> int:
+    """Full grid-barrier protocol through the repro.sync scope API.
+
+    2 blocks/SM x 256 threads on the V100 (160 block processes, serialized
+    L2 atomics, per-SM release ports) for 4 rounds — the event mix behind
+    every Fig 5 cell, now with the arrive/wait generator indirection of
+    the cooperative-groups-style scopes on the path.
+    """
+    from repro.sim.arch import V100
+    from repro.sync import GridGroup
+
+    group = GridGroup(V100, blocks_per_sm=2, threads_per_block=256)
+    group.simulate(n_syncs=4)
+    return group.engine.event_count
+
+
 def _resource_contention() -> int:
     """FIFO resource under heavy contention (atomic-port pattern)."""
     eng = Engine()
@@ -147,6 +163,12 @@ def test_bench_engine_signal_fanout(benchmark):
 
 def test_bench_engine_resource_contention(benchmark):
     events = benchmark(_resource_contention)
+    _events_per_sec(benchmark, events)
+
+
+def test_bench_engine_sync_grid_group(benchmark):
+    """repro.sync GridGroup barrier rounds (events/s entry)."""
+    events = benchmark(_grid_sync_group)
     _events_per_sec(benchmark, events)
 
 

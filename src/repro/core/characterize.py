@@ -19,11 +19,11 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.cudasim import instructions as ins
 from repro.sim.arch import GPUSpec
-from repro.sim.device import simulate_grid_sync
 from repro.sim.exec_thread import ThreadCtx, WarpExecutor
-from repro.sim.node import Node, simulate_multigrid_sync
+from repro.sim.node import Node
 from repro.sim.occupancy import blocks_per_sm as occ_blocks_per_sm
 from repro.sim.sm import simulate_block_sync, simulate_warp_sync_throughput
+from repro.sync import GridGroup, MultiGridGroup
 
 __all__ = [
     "measure_warp_sync_latency",
@@ -203,7 +203,7 @@ def grid_sync_heatmap(
     """Fig 5: measured grid-sync latency (us) per launch configuration."""
     out = {}
     for b, t in heatmap_cells(spec):
-        r = simulate_grid_sync(spec, b, t, n_syncs=n_syncs)
+        r = GridGroup(spec, b, t).simulate(n_syncs=n_syncs)
         out[(b, t)] = r.latency_per_sync_us
     return out
 
@@ -216,6 +216,6 @@ def multigrid_sync_heatmap(
     """Figs 7/8: measured multi-grid sync latency (us) per configuration."""
     out = {}
     for b, t in heatmap_cells(node.spec.gpu):
-        r = simulate_multigrid_sync(node, b, t, gpu_ids=gpu_ids, n_syncs=n_syncs)
+        r = MultiGridGroup(node, b, t, gpu_ids=gpu_ids).simulate(n_syncs=n_syncs)
         out[(b, t)] = r.latency_per_sync_us
     return out

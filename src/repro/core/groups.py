@@ -32,16 +32,16 @@ from typing import Optional, Sequence, Tuple
 from repro.cudasim import instructions as ins
 from repro.cudasim.errors import CooperativeLaunchTooLarge, CudaError, InvalidConfiguration
 from repro.sim.arch import GPUSpec, NodeSpec
-from repro.sim.device import grid_sync_latency_ns, simulate_grid_sync
+from repro.sim.device import grid_sync_latency_ns
 from repro.sim.node import (
     Node,
     cross_gpu_latency_ns,
     multigrid_local_latency_ns,
-    simulate_multigrid_sync,
 )
 from repro.sim.occupancy import blocks_per_sm as occ_blocks_per_sm
 from repro.sim.occupancy import max_cooperative_blocks
 from repro.sim.sm import block_sync_latency_cycles
+from repro import sync as engine_sync
 
 __all__ = [
     "KernelEnv",
@@ -235,13 +235,11 @@ class GridGroup:
     def sync_simulated(self, n_syncs: int = 1,
                        participating_blocks: Optional[int] = None):
         """Run the DES barrier protocol; deadlocks on partial participation."""
-        return simulate_grid_sync(
+        return engine_sync.GridGroup(
             self.env.spec,
             self.env.blocks_per_sm,
             self.env.threads_per_block,
-            n_syncs=n_syncs,
-            participating_blocks=participating_blocks,
-        )
+        ).simulate(n_syncs=n_syncs, participating_blocks=participating_blocks)
 
 
 class MultiGridGroup:
@@ -280,15 +278,13 @@ class MultiGridGroup:
                        participating_gpus: Optional[Sequence[int]] = None,
                        full_local_participation: bool = True):
         """Run the DES barrier protocol; deadlocks on any partial participation."""
-        return simulate_multigrid_sync(
+        return engine_sync.MultiGridGroup(
             self.node,
             self.env.blocks_per_sm,
             self.env.threads_per_block,
             gpu_ids=self.env.gpu_ids,
-            n_syncs=n_syncs,
-            participating_gpus=participating_gpus,
             full_local_participation=full_local_participation,
-        )
+        ).simulate(n_syncs=n_syncs, participating_gpus=participating_gpus)
 
 
 # -- factory functions mirroring the CUDA namespace -------------------------

@@ -22,10 +22,10 @@ from typing import Dict, Generator, List, Optional
 
 from repro.cudasim import instructions as ins
 from repro.sim.arch import GPUSpec
-from repro.sim.device import simulate_grid_sync
 from repro.sim.engine import DeadlockError
 from repro.sim.exec_thread import ThreadCtx, WarpExecutor
-from repro.sim.node import Node, simulate_multigrid_sync
+from repro.sim.node import Node
+from repro.sync import GridGroup, MultiGridGroup
 
 __all__ = [
     "WarpBlockingTrace",
@@ -164,8 +164,7 @@ def _block_partial_deadlocks(spec: GPUSpec) -> bool:
 
 def _grid_partial_deadlocks(spec: GPUSpec) -> bool:
     try:
-        simulate_grid_sync(
-            spec, blocks_per_sm=1, threads_per_block=64,
+        GridGroup(spec, blocks_per_sm=1, threads_per_block=64).simulate(
             participating_blocks=spec.sm_count // 2,
         )
         return False
@@ -175,11 +174,11 @@ def _grid_partial_deadlocks(spec: GPUSpec) -> bool:
 
 def _multigrid_partial_blocks_deadlocks(node: Node) -> bool:
     try:
-        simulate_multigrid_sync(
+        MultiGridGroup(
             node, blocks_per_sm=1, threads_per_block=64,
             gpu_ids=range(min(2, node.gpu_count)),
             full_local_participation=False,
-        )
+        ).simulate()
         return False
     except DeadlockError:
         return True
@@ -188,10 +187,9 @@ def _multigrid_partial_blocks_deadlocks(node: Node) -> bool:
 def _multigrid_partial_gpus_deadlocks(node: Node) -> bool:
     n = min(2, node.gpu_count)
     try:
-        simulate_multigrid_sync(
-            node, blocks_per_sm=1, threads_per_block=64,
-            gpu_ids=range(n), participating_gpus=[0],
-        )
+        MultiGridGroup(
+            node, blocks_per_sm=1, threads_per_block=64, gpu_ids=range(n)
+        ).simulate(participating_gpus=[0])
         return False
     except DeadlockError:
         return True

@@ -184,6 +184,28 @@ class CudaRuntime:
         ]
         return records
 
+    # -- cooperative groups (repro.sync) ------------------------------------
+
+    def this_grid(self, blocks_per_sm: int, threads_per_block: int,
+                  device: int = 0, strategy=None):
+        """``cg::this_grid()``: device-wide group bound to this runtime.
+
+        Performs the co-residency validation a cooperative launch would;
+        see :mod:`repro.sync` for the scope/strategy API.
+        """
+        from repro.sync import this_grid
+
+        return this_grid(self, blocks_per_sm, threads_per_block,
+                         device=device, strategy=strategy)
+
+    def this_multi_grid(self, blocks_per_sm: int, threads_per_block: int,
+                        devices: Optional[Sequence[int]] = None, strategy=None):
+        """``cg::this_multi_grid()``: multi-device group over this node."""
+        from repro.sync import this_multi_grid
+
+        return this_multi_grid(self, blocks_per_sm, threads_per_block,
+                               gpu_ids=devices, strategy=strategy)
+
     # -- synchronization -------------------------------------------------------
 
     def device_synchronize(self, device: int = 0,

@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments import runner
-from repro.experiments.registry import EXPERIMENTS, get_spec
+from repro.experiments.registry import EXPERIMENTS, filter_by_tags, get_spec
 from repro.experiments.scenario import apply_overrides
 
 __all__ = ["main"]
@@ -44,6 +44,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true",
         help="list experiment ids with titles and tags, then exit",
+    )
+    parser.add_argument(
+        "--tags", action="append", default=[], metavar="TAG[,TAG...]",
+        help=(
+            "keep only experiments carrying at least one of these tags "
+            "(repeatable; applies to runs and --list) — e.g. --tags smoke "
+            "selects CI's smoke subset"
+        ),
     )
     parser.add_argument(
         "--jobs", "-j", type=int, default=1, metavar="N",
@@ -73,9 +81,10 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _list_experiments() -> None:
+def _list_experiments(ids: List[str]) -> None:
     width = max(len(e) for e in EXPERIMENTS)
-    for exp_id, spec in EXPERIMENTS.items():
+    for exp_id in ids:
+        spec = EXPERIMENTS[exp_id]
         tags = f"  [{', '.join(spec.tags)}]" if spec.tags else ""
         print(f"{exp_id:<{width}}  {spec.title}{tags}")
 
@@ -83,16 +92,32 @@ def _list_experiments() -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
-    if args.list:
-        _list_experiments()
-        return 0
-
     ids = args.ids or list(EXPERIMENTS)
     bad = [i for i in ids if i not in EXPERIMENTS]
     if bad:
         print(f"unknown experiment(s): {', '.join(bad)}", file=sys.stderr)
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+
+    # Tag filter: keep experiments carrying any requested tag.  This is
+    # how CI selects its smoke subset (--tags smoke) without hard-coding
+    # experiment names.
+    tags = [t for chunk in args.tags for t in chunk.split(",") if t]
+    if tags:
+        try:
+            ids = filter_by_tags(ids, tags)
+        except ValueError as exc:
+            print(f"bad --tags filter: {exc}", file=sys.stderr)
+            return 2
+        if not ids:
+            print(
+                f"no experiments match tags: {', '.join(tags)}", file=sys.stderr
+            )
+            return 2
+
+    if args.list:
+        _list_experiments(ids)
+        return 0
 
     # Build the point list: default scenarios, with --scenario overrides
     # applied to each.  Overrides can collapse distinct defaults into the

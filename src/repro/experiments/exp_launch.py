@@ -18,7 +18,8 @@ from repro.microbench.implicit import (
     measure_kernel_total_latency,
     measure_launch_overhead,
 )
-from repro.sim.node import Node, simulate_multigrid_sync
+from repro.sim.node import Node
+from repro.sync import MultiGridGroup
 from repro.viz.tables import render_table
 
 __all__ = ["run_table1", "run_fig9"]
@@ -106,7 +107,9 @@ def run_fig9(
     node = Node(node_spec)
     for name, (b, t) in _MGRID_SERIES.items():
         series[name] = [
-            simulate_multigrid_sync(node, b, t, gpu_ids=range(n)).latency_per_sync_us
+            MultiGridGroup(node, b, t, gpu_ids=range(n))
+            .simulate()
+            .latency_per_sync_us
             for n in counts
         ]
 

@@ -37,6 +37,8 @@ __all__ = [
     "ExperimentSpec",
     "EXPERIMENTS",
     "get_spec",
+    "known_tags",
+    "filter_by_tags",
     "run_experiment",
     "run_all",
 ]
@@ -64,7 +66,7 @@ _SPECS: List[ExperimentSpec] = [
     ExperimentSpec(
         "table1", "Launch overhead / null-kernel latency (V100)", run_table1,
         default_scenarios=(TABLE1_SCENARIO,),
-        tags=("launch", "single-gpu"),
+        tags=("launch", "single-gpu", "smoke"),
     ),
     ExperimentSpec(
         "table2", "Warp-level synchronization (V100 + P100)", run_table2,
@@ -88,7 +90,7 @@ _SPECS: List[ExperimentSpec] = [
     ExperimentSpec(
         "fig8", "Multi-grid synchronization (V100 DGX-1)", run_fig8,
         default_scenarios=(Scenario(gpus=("V100",)),),
-        tags=("multigrid", "sync", "multi-gpu", "nvlink"),
+        tags=("multigrid", "sync", "multi-gpu", "nvlink", "smoke"),
     ),
     ExperimentSpec(
         "fig9", "Implicit vs CPU-side vs multi-grid barriers across DGX-1",
@@ -103,11 +105,11 @@ _SPECS: List[ExperimentSpec] = [
     ),
     ExperimentSpec(
         "table4", "Predicted worker switching points", run_table4,
-        default_scenarios=_PER_GPU, tags=("model", "single-gpu"),
+        default_scenarios=_PER_GPU, tags=("model", "single-gpu", "smoke"),
     ),
     ExperimentSpec(
         "table5", "Latency to sum 32 doubles per warp method", run_table5,
-        default_scenarios=_PER_GPU, tags=("reduction", "warp"),
+        default_scenarios=_PER_GPU, tags=("reduction", "warp", "smoke"),
     ),
     ExperimentSpec(
         "fig15", "Single-GPU reduction latency vs size", run_fig15,
@@ -129,12 +131,12 @@ _SPECS: List[ExperimentSpec] = [
     ),
     ExperimentSpec(
         "deadlock", "Partial-group synchronization outcomes", run_deadlock,
-        default_scenarios=_PER_GPU, tags=("pitfall", "deadlock"),
+        default_scenarios=_PER_GPU, tags=("pitfall", "deadlock", "smoke"),
     ),
     ExperimentSpec(
         "validation", "Measurement-method cross-validation (Section IX-D)",
         run_validation,
-        default_scenarios=_PER_GPU, tags=("methodology",),
+        default_scenarios=_PER_GPU, tags=("methodology", "smoke"),
     ),
     ExperimentSpec(
         "table8", "Summary of observations (Table VIII)", run_summary,
@@ -154,6 +156,28 @@ def get_spec(exp_id: str) -> ExperimentSpec:
         raise ValueError(
             f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
+
+
+def known_tags() -> Tuple[str, ...]:
+    """Every tag used by at least one experiment, sorted."""
+    return tuple(sorted({t for spec in EXPERIMENTS.values() for t in spec.tags}))
+
+
+def filter_by_tags(ids: Sequence[str], tags: Sequence[str]) -> List[str]:
+    """Restrict experiment ids to those carrying at least one of ``tags``.
+
+    Unknown tags raise, listing the known ones — a typo in a CI job
+    should fail the job, not silently select nothing.
+    """
+    known = known_tags()
+    unknown = [t for t in tags if t not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown tag(s) {', '.join(sorted(unknown))}; "
+            f"known tags: {', '.join(known)}"
+        )
+    wanted = set(tags)
+    return [i for i in ids if wanted & set(EXPERIMENTS[i].tags)]
 
 
 def run_experiment(

@@ -31,7 +31,13 @@ from repro.sim.arch import (
 from repro.sim.interconnect import INTERCONNECT_KINDS, build_interconnect
 from repro.sim.node import Node
 
-__all__ = ["Scenario", "PAPER_SCENARIO", "parse_override", "apply_overrides"]
+__all__ = [
+    "Scenario",
+    "PAPER_SCENARIO",
+    "parse_override",
+    "apply_overrides",
+    "valid_override_keys",
+]
 
 
 def _canonical_node_name(name: str) -> str:
@@ -235,13 +241,25 @@ _SCALAR_FIELDS = {
     "interconnect": str,
     "size_bytes": int,
 }
+# Driver-specific knobs must be namespaced so a typo in a real field name
+# ("gpu=V100") errors instead of silently riding along as an ignored extra
+# (which used to yield the default scenario).
+_EXTRA_PREFIX = "extra."
+
+
+def valid_override_keys() -> Tuple[str, ...]:
+    """The scenario keys ``--scenario`` accepts, in help order."""
+    return tuple(_LIST_FIELDS) + tuple(_SCALAR_FIELDS)
 
 
 def parse_override(pair: str) -> Tuple[str, Any]:
     """Parse one ``key=value`` CLI override into a scenario field update.
 
     List fields take comma-separated values (``gpus=V100,P100``,
-    ``gpu_counts=2,4,8``); unknown keys become ``extras`` entries.
+    ``gpu_counts=2,4,8``).  Driver-specific knobs use the ``extra.``
+    namespace (``extra.knob=7``); any other key is rejected with the
+    list of valid keys, so a typo fails loudly instead of silently
+    producing the default scenario.
     """
     if "=" not in pair:
         raise ValueError(f"scenario override must be key=value, got {pair!r}")
@@ -254,7 +272,13 @@ def parse_override(pair: str) -> Tuple[str, Any]:
     if key in _SCALAR_FIELDS:
         value = _SCALAR_FIELDS[key](raw)
         return key, value
-    return "extras", (key, raw)
+    if key.startswith(_EXTRA_PREFIX) and len(key) > len(_EXTRA_PREFIX):
+        return "extras", (key[len(_EXTRA_PREFIX):], raw)
+    raise ValueError(
+        f"unknown scenario key {key!r}; valid keys: "
+        f"{', '.join(valid_override_keys())} "
+        f"(or {_EXTRA_PREFIX}<name>=<value> for driver-specific knobs)"
+    )
 
 
 def apply_overrides(scenario: Scenario, pairs: Sequence[str]) -> Scenario:

@@ -17,7 +17,7 @@ from repro.experiments.base import ExperimentReport
 from repro.experiments.scenario import PAPER_SCENARIO, Scenario
 from repro.reduction.warp import table5_rows
 from repro.sim.device import grid_sync_latency_ns
-from repro.sim.node import Node, simulate_multigrid_sync
+from repro.sync import MultiGridGroup
 
 __all__ = ["run_summary"]
 
@@ -84,10 +84,10 @@ def run_summary(scenario: Optional[Scenario] = None) -> ExperimentReport:
     # <=8 blocks/SM stays within the paper's "acceptable" envelope
     # (no more than 2x the fastest config, other than the 1-GPU case).
     node = scenario.build_node()
-    fastest = simulate_multigrid_sync(node, 1, 32).latency_per_sync_us
+    fastest = MultiGridGroup(node, 1, 32).simulate().latency_per_sync_us
     ok_env = True
     for b, t in ((1, 1024), (2, 512), (4, 256), (8, 128)):
-        v = simulate_multigrid_sync(node, b, t).latency_per_sync_us
+        v = MultiGridGroup(node, b, t).simulate().latency_per_sync_us
         ok_env &= v <= 2.0 * fastest
     check("multi-grid acceptable when thr/SM<=1024 and blk/SM<=8", ok_env)
 

@@ -8,18 +8,21 @@ The paper's CPU-side multi-GPU barrier uses one OpenMP thread per device::
       #pragma omp barrier ... }
 
 :class:`OmpTeam` reproduces this: each member is a host process on the
-runtime's engine, ``barrier()`` is a rendezvous whose cost follows the
-node's calibrated OpenMP-barrier model (flat-ish in GPU count — the reason
-the CPU-side series in Fig 9 is nearly horizontal).  Threads are treated as
-pinned (the paper pins them; we model no migration penalty).
+runtime's engine, and ``barrier()`` is the CPU-side barrier scope of the
+unified sync API (:class:`repro.sync.HostBarrierGroup` with its
+:class:`~repro.sync.strategies.CpuBarrier` strategy) — a rendezvous whose
+cost follows the node's calibrated OpenMP-barrier model (flat-ish in GPU
+count — the reason the CPU-side series in Fig 9 is nearly horizontal).
+Threads are treated as pinned (the paper pins them; we model no
+migration penalty).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List
+from typing import Callable, Generator, List
 
 from repro.cudasim.runtime import CudaRuntime
-from repro.sim.engine import Signal, Timeout
+from repro.sync import HostBarrierGroup
 
 __all__ = ["OmpTeam"]
 
@@ -28,24 +31,23 @@ class OmpTeam:
     """A fixed-size team of host threads with an OpenMP-style barrier."""
 
     def __init__(self, rt: CudaRuntime, n_threads: int):
-        if n_threads < 1:
-            raise ValueError("team needs at least one thread")
         self.rt = rt
         self.n_threads = n_threads
-        self.barrier_cost_ns = rt.node.spec.omp_barrier_ns(n_threads)
-        self._rounds: Dict[int, dict] = {}
-        self._counters: Dict[int, int] = {}
-        self.barriers_passed = 0
+        self._group = HostBarrierGroup(
+            n_threads,
+            rt.node.spec.omp_barrier_ns(n_threads),
+            engine=rt.engine,
+        )
+        self.barrier_cost_ns = self._group.cost_ns
 
-    def _round(self, idx: int) -> dict:
-        rnd = self._rounds.get(idx)
-        if rnd is None:
-            rnd = {
-                "arrived": 0,
-                "release": Signal(self.rt.engine, name=f"omp-barrier-{idx}"),
-            }
-            self._rounds[idx] = rnd
-        return rnd
+    @property
+    def group(self) -> HostBarrierGroup:
+        """The underlying CPU-side barrier scope (``repro.sync``)."""
+        return self._group
+
+    @property
+    def barriers_passed(self) -> int:
+        return self._group.rounds_released
 
     def barrier(self, tid: int) -> Generator:
         """``#pragma omp barrier`` for thread ``tid`` (one rendezvous round).
@@ -53,16 +55,7 @@ class OmpTeam:
         Threads must call barriers the same number of times — mismatched
         calls deadlock, as in real OpenMP.
         """
-        if not (0 <= tid < self.n_threads):
-            raise ValueError(f"tid {tid} out of range [0,{self.n_threads})")
-        idx = self._counters.get(tid, 0)
-        self._counters[tid] = idx + 1
-        rnd = self._round(idx)
-        rnd["arrived"] += 1
-        if rnd["arrived"] == self.n_threads:
-            self.rt.engine.schedule_fire(self.barrier_cost_ns, rnd["release"])
-            self.barriers_passed += 1
-        yield rnd["release"]
+        yield from self._group.barrier(tid)
 
     def run(self, worker: Callable[[int], Generator]) -> List:
         """Run ``worker(tid)`` on every team thread; returns their results."""

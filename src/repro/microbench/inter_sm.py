@@ -26,9 +26,8 @@ from repro.cudasim.runtime import CudaRuntime
 from repro.microbench.harness import Measurement, MeasurementConfig, collect
 from repro.microbench.stats import DerivedLatency, derive_instruction_latency
 from repro.sim.arch import GPUSpec
-from repro.sim.device import grid_sync_latency_ns
 from repro.sim.exec_thread import ThreadCtx, WarpExecutor
-from repro.sim.sm import block_sync_latency_cycles
+from repro.sync import BlockGroup, GridGroup
 from repro.cudasim import instructions as ins
 
 __all__ = [
@@ -61,15 +60,16 @@ def _chain_duration_ns(spec: GPUSpec, instruction: str, repeats: int) -> float:
     return run.duration_ns
 
 
-def _sync_duration_ns(spec: GPUSpec, level: str, repeats: int) -> float:
-    """Execution time of a kernel performing ``repeats`` sync operations."""
+def _sync_latency_ns(spec: GPUSpec, level: str) -> float:
+    """Cost of one sync at ``level``, from the unified sync API's
+    per-scope ``latency_model`` (the closed forms the cooperative-groups
+    scopes expose).  Called once per measurement, not per sample — the
+    scope construction is not free."""
     if level == "block":
-        per = spec.cycles_to_ns(block_sync_latency_cycles(spec, warps=8))
-    elif level == "grid":
-        per = grid_sync_latency_ns(spec, blocks_per_sm=1, threads_per_block=256)
-    else:
-        raise ValueError(f"unknown sync level {level!r}")
-    return per * repeats
+        return BlockGroup(spec, warps_per_block=8).latency_model()
+    if level == "grid":
+        return GridGroup(spec, blocks_per_sm=1, threads_per_block=256).latency_model()
+    raise ValueError(f"unknown sync level {level!r}")
 
 
 def measure_kernel_total_latency_host(
@@ -138,16 +138,17 @@ def verify_sync_repeat_invariance(
     cache overflow, so the paper only reports its fastest result.
     Returns ``{pair: derived_latency_ns}`` plus the spread.
     """
+    per_sync_ns = _sync_latency_ns(spec, level)
     results = {}
     for i, (r1, r2) in enumerate(repeat_pairs):
         derived = derive_instruction_latency(
             measure_kernel_total_latency_host(
-                spec, lambda r: _sync_duration_ns(spec, level, r), r1, config,
+                spec, lambda r: per_sync_ns * r, r1, config,
                 seed + i * 31,
             ),
             r1,
             measure_kernel_total_latency_host(
-                spec, lambda r: _sync_duration_ns(spec, level, r), r2, config,
+                spec, lambda r: per_sync_ns * r, r2, config,
                 seed + i * 31 + 7,
             ),
             r2,

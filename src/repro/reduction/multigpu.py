@@ -30,7 +30,8 @@ from repro.host.openmp import OmpTeam
 from repro.reduction.block import block_reduce_cycles
 from repro.reduction.device import InputData, VirtualData, _expected_sum, _nbytes
 from repro.sim.arch import NodeSpec
-from repro.sim.node import Node, cross_gpu_latency_ns, multigrid_local_latency_ns
+from repro.sim.node import Node
+from repro.sync import MultiGridGroup
 from repro.util.units import GB
 
 __all__ = [
@@ -96,11 +97,11 @@ def reduce_multigrid(
     shards = _shard_sums(data, n)
 
     steps = _gather_steps(n)
-    mgrid_sync_ns = multigrid_local_latency_ns(
-        node_spec, blocks_per_sm, threads_per_block
-    ) + cross_gpu_latency_ns(
-        node_spec, node.interconnect, list(range(n)), blocks_per_sm
-    )
+    # The persistent kernel's barrier cost: the multi-grid scope's closed
+    # form (local phase + topology-dependent cross phase).
+    mgrid_sync_ns = MultiGridGroup(
+        node, blocks_per_sm, threads_per_block, gpu_ids=range(n)
+    ).latency_model()
     partial_bytes = _partials_nbytes(node, blocks_per_sm, threads_per_block)
     transfer_ns = (
         node.interconnect.peer_transfer_ns(1, 0, partial_bytes) if n > 1 else 0.0

@@ -1,36 +1,24 @@
-"""Whole-GPU device model: grid barrier protocol and device state.
+"""Whole-GPU device model: device state and the grid-sync cost model.
 
-The grid barrier (cooperative groups ``grid.sync()``) is simulated as the
-software protocol CUDA actually uses:
-
-1. every block synchronizes internally (arrive),
-2. one leader warp per block performs a serialized atomic increment on an
-   arrival counter in L2,
-3. the last arrival writes a release flag,
-4. every SM re-dispatches its resident warps.
-
-Step 2's serialization over *all* blocks is why grid-sync latency tracks
-blocks/SM much more strongly than threads/block (Fig 5); step 4 contributes
-the weaker per-warp term.  Partial participation (a subset of blocks calling
-``sync()``) leaves the counter short of the grid size and the simulation
-deadlocks — the Section VIII-B observation.
+The grid barrier's DES protocol now lives in
+:class:`repro.sync.GridGroup` (the cooperative-groups-style API);
+:func:`simulate_grid_sync` remains as a deprecated shim delegating there.
+The closed-form latency model :func:`grid_sync_latency_ns` stays here —
+it is the Fig 5 fit, not a protocol.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Optional
 
 from repro.sim.arch import GPUSpec
-from repro.sim.engine import Engine, Resource, Signal, Timeout
-from repro.sim.memory import DeviceBuffer, HBM, L2AtomicUnit
+from repro.sim.engine import Engine
+from repro.sim.memory import DeviceBuffer, HBM
 from repro.sim.occupancy import blocks_per_sm as occ_blocks_per_sm
 
 __all__ = ["Device", "GridSyncResult", "simulate_grid_sync", "grid_sync_latency_ns"]
-
-# How the calibrated fixed cost splits between arrive and release phases.
-# The split does not affect totals; it shapes intermediate event times.
-_ARRIVE_FRACTION = 0.4
 
 
 @dataclass(frozen=True)
@@ -89,90 +77,31 @@ def simulate_grid_sync(
     engine: Optional[Engine] = None,
     sm_count: Optional[int] = None,
 ) -> GridSyncResult:
-    """Simulate ``n_syncs`` grid barriers with the four-step protocol.
+    """Deprecated shim over :class:`repro.sync.GridGroup`.
 
-    Parameters
-    ----------
-    participating_blocks:
-        If fewer than the grid size, the barrier can never complete and the
-        run raises :class:`~repro.sim.engine.DeadlockError` — the paper's
-        partial-group pitfall (Section VIII-B).
-    sm_count:
-        Override the SM count (used by the multi-GPU model to build
-        smaller logical devices for tests).
+    The four-step grid-barrier protocol (and its pluggable strategy
+    variants) lives in :mod:`repro.sync`; this wrapper reproduces the
+    historical one-shot signature, event-for-event.
+
+    .. deprecated::
+        Use ``GridGroup(spec, blocks_per_sm, threads_per_block).simulate()``
+        or ``CudaRuntime.this_grid(...)`` instead.
     """
-    if blocks_per_sm < 1:
-        raise ValueError("blocks_per_sm must be >= 1")
+    warnings.warn(
+        "simulate_grid_sync is deprecated; use repro.sync.GridGroup "
+        "(or CudaRuntime.this_grid) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.sync import GridGroup
+
     if n_syncs < 1:
         raise ValueError("n_syncs must be >= 1")
-    occ = occ_blocks_per_sm(spec, threads_per_block)
-    if blocks_per_sm > occ.blocks_per_sm:
-        raise ValueError(
-            f"cooperative grid of {blocks_per_sm} blocks/SM x "
-            f"{threads_per_block} threads/block cannot co-reside on {spec.name}"
-        )
-
-    sms = sm_count if sm_count is not None else spec.sm_count
-    total_blocks = blocks_per_sm * sms
-    participants = (
-        total_blocks if participating_blocks is None else participating_blocks
+    group = GridGroup(
+        spec, blocks_per_sm, threads_per_block, engine=engine, sm_count=sm_count
     )
-    if not (0 < participants <= total_blocks):
-        raise ValueError("participating_blocks must be in (0, total_blocks]")
-
-    gs = spec.grid_sync
-    eng = engine or Engine()
-    l2 = L2AtomicUnit(eng, gs.atomic_service_ns(blocks_per_sm, sms))
-    release_ports = [
-        Resource(eng, capacity=1, name=f"sm{j}-release") for j in range(sms)
-    ]
-
-    arrive_ns = gs.base_ns * _ARRIVE_FRACTION
-    flag_ns = gs.base_ns * (1.0 - _ARRIVE_FRACTION)
-    wpb = occ.warps_per_block
-
-    # Per-round shared state.
-    rounds: List[Dict] = [
-        {"count": 0, "release": Signal(eng, name=f"grid-release-{r}")}
-        for r in range(n_syncs)
-    ]
-
-    # Timeouts are immutable: allocate once, yield per round (hot loop).
-    t_arrive = Timeout(arrive_ns)
-    t_release = Timeout(gs.per_warp_release_ns)
-
-    def block_proc(block_id: int) -> Generator:
-        sm_id = block_id % sms
-        for r in range(n_syncs):
-            rnd = rounds[r]
-            # 1. intra-block arrive + flag write round-trip.
-            yield t_arrive
-            # 2. serialized atomic increment at L2.
-            yield from l2.atomic()
-            rnd["count"] += 1
-            if rnd["count"] == total_blocks:
-                # 3. last arrival broadcasts the release flag.
-                eng.schedule_fire(flag_ns, rnd["release"])
-            yield rnd["release"]
-            # 4. warp re-dispatch, serialized per SM.
-            port = release_ports[sm_id]
-            for _ in range(wpb):
-                yield port.acquire()
-                yield t_release
-                port.release()
-
-    t0 = eng.now
-    for b in range(participants):
-        eng.process(block_proc(b), name=f"grid-block{b}")
-    eng.run()  # raises DeadlockError when participants < total_blocks
-
-    return GridSyncResult(
-        blocks_per_sm=blocks_per_sm,
-        threads_per_block=threads_per_block,
-        total_blocks=total_blocks,
-        warps_per_sm=blocks_per_sm * wpb,
-        n_syncs=n_syncs,
-        total_ns=eng.now - t0,
+    return group.simulate(
+        n_syncs=n_syncs, participating_blocks=participating_blocks
     )
 
 

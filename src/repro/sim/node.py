@@ -1,31 +1,25 @@
-"""Multi-GPU node model: devices + interconnect + multi-grid barrier.
+"""Multi-GPU node model: devices + interconnect + multi-grid cost model.
 
-The multi-grid barrier (``multi_grid.sync()``) has two phases:
-
-* a **local phase** per GPU — structurally the grid barrier but with
-  system-scope fences, making every per-block and per-warp cost heavier
-  (the :class:`~repro.sim.arch.MultiGridLocalCalib` block, fit to the
-  1-GPU columns of Figs 7/8);
-* a **cross-GPU phase** — leader GPUs exchange arrival/release flags over
-  the interconnect.  Its cost depends on the *topology*: on the DGX-1
-  cube-mesh, every GPU reachable in one NVLink hop from the leader adds a
-  small increment, while any two-hop member forces the flag traffic
-  through an intermediate GPU and adds the large penalty that creates the
-  paper's 2–5 GPU vs 6–8 GPU plateaus (Figs 8/9).
-
-Partial participation — whether a missing GPU or a missing block inside
-one GPU — hangs the barrier (Section VIII-B): the simulation raises
-:class:`~repro.sim.engine.DeadlockError`.
+The multi-grid barrier (``multi_grid.sync()``) has two phases — a
+per-GPU **local phase** (grid barrier with system-scope fences) and a
+topology-dependent **cross-GPU phase** (leader flag exchange over the
+interconnect; the DGX-1 cube-mesh's two-hop members create the paper's
+2–5 vs 6–8 GPU plateaus, Figs 8/9).  The DES protocol now lives in
+:class:`repro.sync.MultiGridGroup`; :func:`simulate_multigrid_sync`
+remains as a deprecated shim delegating there.  The closed-form phase
+models (:func:`multigrid_local_latency_ns`, :func:`cross_gpu_latency_ns`)
+stay here — they are the Figs 7/8 fits, not protocols.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.sim.arch import NodeSpec
 from repro.sim.device import Device
-from repro.sim.engine import AllOf, Engine, Signal, Timeout
+from repro.sim.engine import Engine
 from repro.sim.interconnect import Interconnect, build_interconnect
 from repro.sim.occupancy import blocks_per_sm as occ_blocks_per_sm
 
@@ -153,69 +147,30 @@ def simulate_multigrid_sync(
     full_local_participation: bool = True,
     engine: Optional[Engine] = None,
 ) -> MultiGridSyncResult:
-    """Simulate ``n_syncs`` multi-grid barriers across ``gpu_ids``.
+    """Deprecated shim over :class:`repro.sync.MultiGridGroup`.
 
-    Parameters
-    ----------
-    participating_gpus:
-        GPUs that actually call ``sync()``.  A strict subset of
-        ``gpu_ids`` deadlocks (Section VIII-B).
-    full_local_participation:
-        When false, one GPU's grid only partially arrives — also a
-        deadlock, covering the "parts of blocks in a multi-grid group"
-        case of the paper's pitfall matrix.
+    The two-phase multi-grid protocol (and its pluggable strategy
+    variants) lives in :mod:`repro.sync`; this wrapper reproduces the
+    historical one-shot signature, event-for-event.
+
+    .. deprecated::
+        Use ``MultiGridGroup(node, ...).simulate()`` or
+        ``CudaRuntime.this_multi_grid(...)`` instead.
     """
-    if n_syncs < 1:
-        raise ValueError("n_syncs must be >= 1")
-    ids = tuple(gpu_ids) if gpu_ids is not None else tuple(range(node.gpu_count))
-    if not ids:
-        raise ValueError("gpu_ids must not be empty")
-    for g in ids:
-        node.device(g)  # validates range
-    arrivals_expected = set(ids)
-    callers = set(participating_gpus) if participating_gpus is not None else set(ids)
-    if not callers <= arrivals_expected:
-        raise ValueError("participating_gpus must be a subset of gpu_ids")
-
-    local_ns = multigrid_local_latency_ns(node.spec, blocks_per_sm, threads_per_block)
-    cross_ns = cross_gpu_latency_ns(node.spec, node.interconnect, ids, blocks_per_sm)
-    arrive_ns = 0.5 * local_ns
-    release_local_ns = local_ns - arrive_ns
-
-    eng = engine or Engine()
-    rounds: List[Dict] = [
-        {"count": 0, "release": Signal(eng, name=f"mgrid-release-{r}")}
-        for r in range(n_syncs)
-    ]
-
-    t_arrive = Timeout(arrive_ns)
-    t_release_local = Timeout(release_local_ns)
-
-    def gpu_proc(gid: int) -> Generator:
-        for r in range(n_syncs):
-            rnd = rounds[r]
-            yield t_arrive
-            if not full_local_participation:
-                # A block inside this GPU never arrived: the local grid
-                # phase can never finish, so this GPU never reports.
-                yield Signal(eng, name=f"gpu{gid}-stuck-local")
-            rnd["count"] += 1
-            if rnd["count"] == len(ids):
-                eng.schedule_fire(cross_ns, rnd["release"])
-            yield rnd["release"]
-            yield t_release_local
-
-    t0 = eng.now
-    for gid in sorted(callers):
-        eng.process(gpu_proc(gid), name=f"mgrid-gpu{gid}")
-    eng.run()  # DeadlockError when callers < gpu_ids or local grids hang
-
-    return MultiGridSyncResult(
-        gpu_ids=ids,
-        blocks_per_sm=blocks_per_sm,
-        threads_per_block=threads_per_block,
-        n_syncs=n_syncs,
-        total_ns=eng.now - t0,
-        local_ns=local_ns,
-        cross_ns=cross_ns,
+    warnings.warn(
+        "simulate_multigrid_sync is deprecated; use repro.sync.MultiGridGroup "
+        "(or CudaRuntime.this_multi_grid) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.sync import MultiGridGroup
+
+    group = MultiGridGroup(
+        node,
+        blocks_per_sm,
+        threads_per_block,
+        gpu_ids=gpu_ids,
+        engine=engine,
+        full_local_participation=full_local_participation,
+    )
+    return group.simulate(n_syncs=n_syncs, participating_gpus=participating_gpus)

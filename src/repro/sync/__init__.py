@@ -1,0 +1,63 @@
+"""``repro.sync`` — the unified cooperative-groups-style barrier API.
+
+One composable surface for every synchronization scope the paper
+studies (warp, block, grid, multi-device) and every mechanism it
+compares (cooperative launch, atomic software barrier, CPU-side
+barrier).  Scopes implement the :class:`~repro.sync.scope.SyncScope`
+protocol (``arrive``/``wait``/``sync`` + ``size``/``latency_model``);
+mechanisms are pluggable :class:`~repro.sync.strategies.BarrierStrategy`
+objects, so scope x strategy sweeps are plain constructor knobs.
+
+See ``docs/sync.md`` for the API reference and the scope/strategy
+matrix mapped to the paper's taxonomy.
+"""
+
+from repro.sync.factory import (
+    cpu_barrier_team,
+    this_block,
+    this_grid,
+    this_multi_grid,
+    this_warp,
+)
+from repro.sync.groups import (
+    BlockGroup,
+    GridGroup,
+    HostBarrierGroup,
+    MultiGridGroup,
+    WarpGroup,
+)
+from repro.sync.scope import BarrierScope, ScopeRun, SyncScope
+from repro.sync.strategies import (
+    STRATEGY_KINDS,
+    BarrierStrategy,
+    CooperativeBarrier,
+    CpuBarrier,
+    Round,
+    SoftwareAtomicBarrier,
+)
+
+__all__ = [
+    # protocol + scaffolding
+    "SyncScope",
+    "BarrierScope",
+    "ScopeRun",
+    "Round",
+    # strategies
+    "BarrierStrategy",
+    "CooperativeBarrier",
+    "SoftwareAtomicBarrier",
+    "CpuBarrier",
+    "STRATEGY_KINDS",
+    # concrete scopes
+    "WarpGroup",
+    "BlockGroup",
+    "GridGroup",
+    "MultiGridGroup",
+    "HostBarrierGroup",
+    # factories
+    "this_warp",
+    "this_block",
+    "this_grid",
+    "this_multi_grid",
+    "cpu_barrier_team",
+]

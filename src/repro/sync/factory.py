@@ -1,0 +1,117 @@
+"""Factory entry points mirroring the CUDA Cooperative Groups namespace.
+
+These hang off a :class:`~repro.cudasim.runtime.CudaRuntime`: the group
+binds the runtime's engine and node, so barrier protocols interleave
+with launches, streams and host threads on one timeline::
+
+    rt = CudaRuntime.for_node(DGX1_V100, gpu_count=4)
+    grid = this_grid(rt, blocks_per_sm=2, threads_per_block=256)
+    mgrid = this_multi_grid(rt, blocks_per_sm=1, threads_per_block=128)
+
+    # closed-form cost model
+    t = mgrid.latency_model()
+    # or the full DES protocol (deadlocks on partial participation)
+    result = mgrid.simulate(n_syncs=4)
+
+``CudaRuntime.this_grid`` / ``CudaRuntime.this_multi_grid`` delegate
+here, so call sites can stay method-style.  The runtime argument is duck
+typed (needs ``engine``, ``device()``, ``node``/``gpu_count``) to keep
+this package importable from the pure-``sim`` layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sync.groups import (
+    BlockGroup,
+    GridGroup,
+    HostBarrierGroup,
+    MultiGridGroup,
+    WarpGroup,
+)
+from repro.sync.strategies import BarrierStrategy
+
+__all__ = [
+    "this_warp",
+    "this_block",
+    "this_grid",
+    "this_multi_grid",
+    "cpu_barrier_team",
+]
+
+
+def this_warp(
+    rt,
+    size: int = 32,
+    kind: str = "tile",
+    device: int = 0,
+    strategy: Optional[BarrierStrategy] = None,
+) -> WarpGroup:
+    """Warp-level group on one of the runtime's devices."""
+    return WarpGroup(
+        rt.device(device).spec, size=size, kind=kind, engine=rt.engine,
+        strategy=strategy,
+    )
+
+
+def this_block(
+    rt,
+    warps_per_block: int,
+    device: int = 0,
+    strategy: Optional[BarrierStrategy] = None,
+) -> BlockGroup:
+    """Block-level group (``__syncthreads``) on one device."""
+    return BlockGroup(
+        rt.device(device).spec, warps_per_block, engine=rt.engine, strategy=strategy
+    )
+
+
+def this_grid(
+    rt,
+    blocks_per_sm: int,
+    threads_per_block: int,
+    device: int = 0,
+    strategy: Optional[BarrierStrategy] = None,
+) -> GridGroup:
+    """Device-wide group — requires the grid to be co-resident, the same
+    validation ``cudaLaunchCooperativeKernel`` performs."""
+    return GridGroup(
+        rt.device(device).spec,
+        blocks_per_sm,
+        threads_per_block,
+        engine=rt.engine,
+        strategy=strategy,
+    )
+
+
+def this_multi_grid(
+    rt,
+    blocks_per_sm: int,
+    threads_per_block: int,
+    gpu_ids: Optional[Sequence[int]] = None,
+    strategy: Optional[BarrierStrategy] = None,
+    full_local_participation: bool = True,
+) -> MultiGridGroup:
+    """Multi-device group over the runtime's node (default: every GPU)."""
+    return MultiGridGroup(
+        rt.node,
+        blocks_per_sm,
+        threads_per_block,
+        gpu_ids=gpu_ids,
+        engine=rt.engine,
+        strategy=strategy,
+        full_local_participation=full_local_participation,
+    )
+
+
+def cpu_barrier_team(
+    rt,
+    n_threads: Optional[int] = None,
+    strategy: Optional[BarrierStrategy] = None,
+) -> HostBarrierGroup:
+    """CPU-side barrier scope: one host thread per GPU (Fig 6 pattern)."""
+    n = n_threads if n_threads is not None else rt.gpu_count
+    return HostBarrierGroup(
+        n, rt.node.spec.omp_barrier_ns(n), engine=rt.engine, strategy=strategy
+    )

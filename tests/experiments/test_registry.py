@@ -8,7 +8,12 @@ import pytest
 
 from repro.experiments.base import ComparisonRow, ExperimentReport
 from repro.experiments.cli import main
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    filter_by_tags,
+    known_tags,
+    run_experiment,
+)
 
 
 class TestReport:
@@ -178,3 +183,44 @@ class TestCli:
         )
         assert main(["table4", "--no-cache"]) == 1
         assert "exceeded tolerance" in capsys.readouterr().err
+
+
+class TestTags:
+    def test_known_tags_union(self):
+        tags = known_tags()
+        assert "smoke" in tags and "sync" in tags
+        assert tags == tuple(sorted(tags))
+
+    def test_filter_by_tags(self):
+        ids = list(EXPERIMENTS)
+        smoke = filter_by_tags(ids, ["smoke"])
+        # CI's smoke subset, selected by tag instead of a name list.
+        assert smoke == ["table1", "fig8", "table4", "table5", "deadlock", "validation"]
+        assert filter_by_tags(ids, ["warp", "block"]) == [
+            "table2", "fig4", "table5", "fig18"
+        ]
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError, match="known tags"):
+            filter_by_tags(list(EXPERIMENTS), ["smoek"])
+
+    def test_cli_list_filtered_by_tags(self, capsys):
+        assert main(["--list", "--tags", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "validation" in out
+        assert "fig16" not in out
+
+    def test_cli_run_filtered_by_tags(self, capsys):
+        assert main(["--tags", "model,warp", "table4", "table2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Predicted worker switching points" in out
+        assert "Warp-level synchronization" in out
+
+    def test_cli_bad_tag_exit_code(self, capsys):
+        assert main(["--tags", "nope"]) == 2
+        assert "bad --tags" in capsys.readouterr().err
+
+    def test_cli_empty_tag_selection_exit_code(self, capsys):
+        # Valid tag, but none of the named experiments carry it.
+        assert main(["table4", "--tags", "warp"]) == 2
+        assert "no experiments match" in capsys.readouterr().err

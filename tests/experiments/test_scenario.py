@@ -132,8 +132,22 @@ class TestOverrides:
         assert parse_override("gpu_count=4") == ("gpu_count", 4)
         assert parse_override("node=DGX2") == ("node", "DGX2")
 
-    def test_unknown_key_becomes_extra(self):
-        assert parse_override("knob=7") == ("extras", ("knob", "7"))
+    def test_namespaced_extra_accepted(self):
+        assert parse_override("extra.knob=7") == ("extras", ("knob", "7"))
+
+    def test_unknown_key_rejected_listing_valid_keys(self):
+        """A typo ('gpu=' for 'gpus=') must fail loudly, not silently
+        ride along as an ignored extra yielding the default scenario."""
+        with pytest.raises(ValueError, match="unknown scenario key 'gpu'"):
+            parse_override("gpu=V100")
+        with pytest.raises(ValueError, match="gpus, gpu_counts, node"):
+            parse_override("knob=7")
+        with pytest.raises(ValueError, match="extra.<name>"):
+            parse_override("knob=7")
+
+    def test_bare_extra_prefix_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario key"):
+            parse_override("extra.=7")
 
     def test_missing_equals_rejected(self):
         with pytest.raises(ValueError, match="key=value"):
@@ -141,7 +155,7 @@ class TestOverrides:
 
     def test_apply_overrides(self):
         s = apply_overrides(
-            PAPER_SCENARIO, ["gpus=V100", "interconnect=ring", "knob=7"]
+            PAPER_SCENARIO, ["gpus=V100", "interconnect=ring", "extra.knob=7"]
         )
         assert s.gpus == ("V100",)
         assert s.interconnect == "ring"

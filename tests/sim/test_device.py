@@ -8,13 +8,20 @@ import pytest
 from repro.experiments.paper_data import FIG5_GRID_SYNC_US
 from repro.sim.device import Device, grid_sync_latency_ns, simulate_grid_sync
 from repro.sim.engine import DeadlockError
+from repro.sync import GridGroup
+
+
+def _grid_sync(spec, b, t, **kw):
+    """Run one grid-sync simulation through the repro.sync scope."""
+    sim_kw = {k: kw.pop(k) for k in ("n_syncs", "participating_blocks") if k in kw}
+    return GridGroup(spec, b, t, **kw).simulate(**sim_kw)
 
 
 class TestGridSyncClosedForm:
     def test_matches_simulation(self, spec):
         for b, t in ((1, 32), (2, 256), (8, 64)):
             cf = grid_sync_latency_ns(spec, b, t)
-            sim = simulate_grid_sync(spec, b, t).latency_per_sync_ns
+            sim = _grid_sync(spec, b, t).latency_per_sync_ns
             assert sim == pytest.approx(cf, rel=0.01)
 
     def test_rejects_non_coresident_grid(self, spec):
@@ -33,50 +40,50 @@ class TestGridSyncSimulation:
     def test_full_heatmap_within_tolerance(self, spec):
         errs = []
         for (b, t), paper in FIG5_GRID_SYNC_US[spec.name].items():
-            sim = simulate_grid_sync(spec, b, t).latency_per_sync_us
+            sim = _grid_sync(spec, b, t).latency_per_sync_us
             errs.append(abs(sim - paper) / paper)
         assert float(np.mean(errs)) < 0.08
         assert float(np.max(errs)) < 0.20
 
     def test_repeated_syncs_amortize_consistently(self, spec):
-        one = simulate_grid_sync(spec, 2, 128, n_syncs=1).latency_per_sync_ns
-        many = simulate_grid_sync(spec, 2, 128, n_syncs=5).latency_per_sync_ns
+        one = _grid_sync(spec, 2, 128, n_syncs=1).latency_per_sync_ns
+        many = _grid_sync(spec, 2, 128, n_syncs=5).latency_per_sync_ns
         assert many == pytest.approx(one, rel=0.05)
 
     def test_partial_participation_deadlocks(self, spec):
         with pytest.raises(DeadlockError):
-            simulate_grid_sync(
+            _grid_sync(
                 spec, 1, 64, participating_blocks=spec.sm_count - 1
             )
 
     def test_single_missing_block_deadlocks(self, spec):
         with pytest.raises(DeadlockError):
-            simulate_grid_sync(
+            _grid_sync(
                 spec, 2, 64, participating_blocks=2 * spec.sm_count - 1
             )
 
     def test_full_participation_completes(self, spec):
-        r = simulate_grid_sync(spec, 1, 64, participating_blocks=spec.sm_count)
+        r = _grid_sync(spec, 1, 64, participating_blocks=spec.sm_count)
         assert r.total_ns > 0
 
     def test_invalid_participation_rejected(self, spec):
         with pytest.raises(ValueError):
-            simulate_grid_sync(spec, 1, 64, participating_blocks=0)
+            _grid_sync(spec, 1, 64, participating_blocks=0)
         with pytest.raises(ValueError):
-            simulate_grid_sync(spec, 1, 64, participating_blocks=10**6)
+            _grid_sync(spec, 1, 64, participating_blocks=10**6)
 
     def test_oversized_cooperative_grid_rejected(self, spec):
         with pytest.raises(ValueError, match="co-reside"):
-            simulate_grid_sync(spec, 3, 1024)
+            _grid_sync(spec, 3, 1024)
 
     def test_sm_count_override_scales_blocks(self, spec):
-        small = simulate_grid_sync(spec, 1, 32, sm_count=4)
+        small = _grid_sync(spec, 1, 32, sm_count=4)
         assert small.total_blocks == 4
-        full = simulate_grid_sync(spec, 1, 32)
+        full = _grid_sync(spec, 1, 32)
         assert small.latency_per_sync_ns < full.latency_per_sync_ns
 
     def test_result_metadata(self, spec):
-        r = simulate_grid_sync(spec, 2, 128)
+        r = _grid_sync(spec, 2, 128)
         assert r.total_blocks == 2 * spec.sm_count
         assert r.warps_per_sm == 8
         assert r.latency_per_sync_us == pytest.approx(r.latency_per_sync_ns / 1e3)
@@ -100,3 +107,10 @@ class TestDevice:
     def test_own_buffers_always_accessible(self, v100):
         dev = Device(v100, 0)
         assert dev.can_access(dev.alloc((4,)))
+
+
+class TestDeprecatedShim:
+    def test_simulate_grid_sync_warns_and_delegates(self, spec):
+        with pytest.warns(DeprecationWarning, match="repro.sync.GridGroup"):
+            old = simulate_grid_sync(spec, 2, 128, n_syncs=2)
+        assert old == _grid_sync(spec, 2, 128, n_syncs=2)

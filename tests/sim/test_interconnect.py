@@ -148,16 +148,17 @@ class TestPlateauEmergence:
         from dataclasses import replace
 
         from repro.sim.arch import DGX1_V100
-        from repro.sim.node import Node, simulate_multigrid_sync
+        from repro.sim.node import Node
+        from repro.sync import MultiGridGroup
 
         spec = DGX1_V100 if interconnect is None else replace(
             DGX1_V100, interconnect=interconnect
         )
         node = Node(spec)
         return {
-            n: simulate_multigrid_sync(
-                node, 1, 32, gpu_ids=range(n)
-            ).latency_per_sync_us
+            n: MultiGridGroup(node, 1, 32, gpu_ids=range(n))
+            .simulate()
+            .latency_per_sync_us
             for n in range(2, 9)
         }
 

@@ -13,6 +13,13 @@ from repro.sim.node import (
     multigrid_local_latency_ns,
     simulate_multigrid_sync,
 )
+from repro.sync import MultiGridGroup
+
+
+def _mgrid_sync(node, b, t, **kw):
+    """Run one multi-grid simulation through the repro.sync scope."""
+    sim_kw = {k: kw.pop(k) for k in ("n_syncs", "participating_gpus") if k in kw}
+    return MultiGridGroup(node, b, t, **kw).simulate(**sim_kw)
 
 
 class TestNode:
@@ -43,7 +50,7 @@ class TestNode:
 class TestLocalPhase:
     def test_one_gpu_multigrid_equals_local(self, dgx1):
         node = Node(dgx1, gpu_count=1)
-        r = simulate_multigrid_sync(node, 1, 256)
+        r = _mgrid_sync(node, 1, 256)
         assert r.cross_ns == 0.0
         assert r.total_ns == pytest.approx(r.local_ns)
 
@@ -100,7 +107,7 @@ class TestMultiGridSimulation:
         node = Node(dgx1)
         errs = []
         for (b, t), paper in FIG8_MULTIGRID_V100_US[n].items():
-            sim = simulate_multigrid_sync(node, b, t, gpu_ids=range(n))
+            sim = _mgrid_sync(node, b, t, gpu_ids=range(n))
             errs.append(abs(sim.latency_per_sync_us - paper) / paper)
         assert float(np.mean(errs)) < 0.08
 
@@ -109,43 +116,51 @@ class TestMultiGridSimulation:
         node = Node(p100_node)
         errs = []
         for (b, t), paper in FIG7_MULTIGRID_P100_US[n].items():
-            sim = simulate_multigrid_sync(node, b, t, gpu_ids=range(n))
+            sim = _mgrid_sync(node, b, t, gpu_ids=range(n))
             errs.append(abs(sim.latency_per_sync_us - paper) / paper)
         assert float(np.mean(errs)) < 0.08
 
     def test_pcie_two_gpu_much_slower_than_nvlink(self, dgx1, p100_node):
-        nv = simulate_multigrid_sync(Node(dgx1), 1, 32, gpu_ids=range(2))
-        pc = simulate_multigrid_sync(Node(p100_node), 1, 32, gpu_ids=range(2))
+        nv = _mgrid_sync(Node(dgx1), 1, 32, gpu_ids=range(2))
+        pc = _mgrid_sync(Node(p100_node), 1, 32, gpu_ids=range(2))
         # Cross-GPU phase dominates and PCIe pays more (Fig 7 vs Fig 8).
         assert pc.cross_ns > nv.cross_ns
 
     def test_partial_gpus_deadlock(self, dgx1):
         node = Node(dgx1)
         with pytest.raises(DeadlockError):
-            simulate_multigrid_sync(
+            _mgrid_sync(
                 node, 1, 64, gpu_ids=range(4), participating_gpus=[0, 1]
             )
 
     def test_partial_local_blocks_deadlock(self, dgx1):
         node = Node(dgx1)
         with pytest.raises(DeadlockError):
-            simulate_multigrid_sync(
+            _mgrid_sync(
                 node, 1, 64, gpu_ids=range(2), full_local_participation=False
             )
 
     def test_participants_must_be_subset(self, dgx1):
         node = Node(dgx1)
         with pytest.raises(ValueError):
-            simulate_multigrid_sync(
+            _mgrid_sync(
                 node, 1, 64, gpu_ids=[0, 1], participating_gpus=[0, 5]
             )
 
     def test_repeated_syncs_amortize(self, dgx1):
         node = Node(dgx1)
-        one = simulate_multigrid_sync(node, 1, 128, n_syncs=1).latency_per_sync_ns
-        many = simulate_multigrid_sync(node, 1, 128, n_syncs=4).latency_per_sync_ns
+        one = _mgrid_sync(node, 1, 128, n_syncs=1).latency_per_sync_ns
+        many = _mgrid_sync(node, 1, 128, n_syncs=4).latency_per_sync_ns
         assert many == pytest.approx(one, rel=0.05)
 
     def test_empty_gpu_set_rejected(self, dgx1):
         with pytest.raises(ValueError):
-            simulate_multigrid_sync(Node(dgx1), 1, 64, gpu_ids=[])
+            _mgrid_sync(Node(dgx1), 1, 64, gpu_ids=[])
+
+
+class TestDeprecatedShim:
+    def test_simulate_multigrid_sync_warns_and_delegates(self, dgx1):
+        node = Node(dgx1)
+        with pytest.warns(DeprecationWarning, match="repro.sync.MultiGridGroup"):
+            old = simulate_multigrid_sync(node, 1, 128, gpu_ids=range(3), n_syncs=2)
+        assert old == _mgrid_sync(Node(dgx1), 1, 128, gpu_ids=range(3), n_syncs=2)

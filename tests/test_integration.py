@@ -117,11 +117,12 @@ class TestAdvisorDrivenWorkflow:
 
     def test_multi_gpu_advice_matches_simulation(self):
         from repro.core import advise_multi_gpu
-        from repro.sim.node import Node, simulate_multigrid_sync
+        from repro.sim.node import Node
+        from repro.sync import MultiGridGroup
 
         adv = advise_multi_gpu(DGX1_V100, gpu_ids=range(6), blocks_per_sm=1,
                                threads_per_block=256)
-        sim = simulate_multigrid_sync(Node(DGX1_V100), 1, 256, gpu_ids=range(6))
+        sim = MultiGridGroup(Node(DGX1_V100), 1, 256, gpu_ids=range(6)).simulate()
         assert adv.estimated_cost_ns == pytest.approx(sim.latency_per_sync_ns, rel=0.02)
 
 
@@ -139,12 +140,15 @@ class TestMethodologyConsistency:
         assert inter.latency_cycles(spec.freq_mhz) == pytest.approx(wong, rel=0.10)
 
     def test_cost_model_and_des_agree_on_grid_sync(self, spec):
-        from repro.sim.device import grid_sync_latency_ns, simulate_grid_sync
+        from repro.sim.device import grid_sync_latency_ns
+        from repro.sync import GridGroup
 
         for b, t in ((1, 64), (4, 128)):
-            assert simulate_grid_sync(spec, b, t).latency_per_sync_ns == pytest.approx(
-                grid_sync_latency_ns(spec, b, t), rel=0.02
+            group = GridGroup(spec, b, t)
+            assert group.simulate().latency_per_sync_ns == pytest.approx(
+                group.latency_model(), rel=0.02
             )
+            assert group.latency_model() == grid_sync_latency_ns(spec, b, t)
 
     def test_reduction_autotuner_consistent_with_measured_crossover(self, v100):
         """The Eq 5 switching point really is where measured times cross."""
