@@ -113,6 +113,21 @@ def _grid_sync_group() -> int:
     return group.engine.event_count
 
 
+def _grid_sync_group_atomic() -> int:
+    """Same grid-barrier event mix through the SoftwareAtomicBarrier's
+    contention-model path (per-wait detection-lag Timeouts priced off the
+    shared MemoryChannel) — the composable, non-fused strategy path."""
+    from repro.sim.arch import V100
+    from repro.sync import GridGroup
+
+    group = GridGroup(
+        V100, blocks_per_sm=2, threads_per_block=256,
+        strategy="atomic", strategy_knobs={"workload_util": 0.25},
+    )
+    group.simulate(n_syncs=4)
+    return group.engine.event_count
+
+
 def _resource_contention() -> int:
     """FIFO resource under heavy contention (atomic-port pattern)."""
     eng = Engine()
@@ -168,7 +183,24 @@ def test_bench_engine_resource_contention(benchmark):
 
 def test_bench_engine_sync_grid_group(benchmark):
     """repro.sync GridGroup barrier rounds (events/s entry)."""
+    # Guard: the contention-model plumbing must not knock the default
+    # cooperative strategy off the fused _member_proc fast path — the
+    # preconditions the fused generator checks are pinned here, next to
+    # the number they protect.
+    from repro.sim.arch import V100
+    from repro.sync import CooperativeBarrier, GridGroup
+
+    group = GridGroup(V100, blocks_per_sm=2, threads_per_block=256)
+    assert group.strategy.__class__ is CooperativeBarrier
+    assert group.strategy._counter_port is not None
+
     events = benchmark(_grid_sync_group)
+    _events_per_sec(benchmark, events)
+
+
+def test_bench_engine_sync_grid_group_atomic(benchmark):
+    """GridGroup under the contended SoftwareAtomicBarrier (events/s entry)."""
+    events = benchmark(_grid_sync_group_atomic)
     _events_per_sec(benchmark, events)
 
 

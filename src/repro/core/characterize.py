@@ -198,12 +198,22 @@ def heatmap_cells(spec: GPUSpec) -> List[Tuple[int, int]]:
 
 
 def grid_sync_heatmap(
-    spec: GPUSpec, n_syncs: int = 1
+    spec: GPUSpec,
+    n_syncs: int = 1,
+    strategy=None,
+    strategy_knobs=None,
 ) -> Dict[Tuple[int, int], float]:
-    """Fig 5: measured grid-sync latency (us) per launch configuration."""
+    """Fig 5: measured grid-sync latency (us) per launch configuration.
+
+    ``strategy``/``strategy_knobs`` select the barrier strategy per cell
+    (kind string or instance factory input, see :class:`repro.sync.GridGroup`)
+    — ``None`` keeps the cooperative default the paper measures.
+    """
     out = {}
     for b, t in heatmap_cells(spec):
-        r = GridGroup(spec, b, t).simulate(n_syncs=n_syncs)
+        r = GridGroup(
+            spec, b, t, strategy=strategy, strategy_knobs=strategy_knobs
+        ).simulate(n_syncs=n_syncs)
         out[(b, t)] = r.latency_per_sync_us
     return out
 
@@ -212,10 +222,15 @@ def multigrid_sync_heatmap(
     node: Node,
     gpu_ids: Optional[Sequence[int]] = None,
     n_syncs: int = 1,
+    strategy=None,
+    strategy_knobs=None,
 ) -> Dict[Tuple[int, int], float]:
     """Figs 7/8: measured multi-grid sync latency (us) per configuration."""
     out = {}
     for b, t in heatmap_cells(node.spec.gpu):
-        r = MultiGridGroup(node, b, t, gpu_ids=gpu_ids).simulate(n_syncs=n_syncs)
+        r = MultiGridGroup(
+            node, b, t, gpu_ids=gpu_ids, strategy=strategy,
+            strategy_knobs=strategy_knobs,
+        ).simulate(n_syncs=n_syncs)
         out[(b, t)] = r.latency_per_sync_us
     return out

@@ -187,24 +187,29 @@ class CudaRuntime:
     # -- cooperative groups (repro.sync) ------------------------------------
 
     def this_grid(self, blocks_per_sm: int, threads_per_block: int,
-                  device: int = 0, strategy=None):
+                  device: int = 0, strategy=None, strategy_knobs=None):
         """``cg::this_grid()``: device-wide group bound to this runtime.
 
         Performs the co-residency validation a cooperative launch would;
-        see :mod:`repro.sync` for the scope/strategy API.
+        see :mod:`repro.sync` for the scope/strategy API.  ``strategy``
+        accepts a kind string (``"cooperative"``/``"atomic"``/``"cpu"``)
+        or a strategy instance; ``strategy_knobs`` tunes a kind string.
         """
         from repro.sync import this_grid
 
         return this_grid(self, blocks_per_sm, threads_per_block,
-                         device=device, strategy=strategy)
+                         device=device, strategy=strategy,
+                         strategy_knobs=strategy_knobs)
 
     def this_multi_grid(self, blocks_per_sm: int, threads_per_block: int,
-                        devices: Optional[Sequence[int]] = None, strategy=None):
+                        devices: Optional[Sequence[int]] = None, strategy=None,
+                        strategy_knobs=None):
         """``cg::this_multi_grid()``: multi-device group over this node."""
         from repro.sync import this_multi_grid
 
         return this_multi_grid(self, blocks_per_sm, threads_per_block,
-                               gpu_ids=devices, strategy=strategy)
+                               gpu_ids=devices, strategy=strategy,
+                               strategy_knobs=strategy_knobs)
 
     # -- synchronization -------------------------------------------------------
 

@@ -66,7 +66,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "override a scenario field for every selected experiment "
             "(repeatable), e.g. --scenario gpus=V100 --scenario "
-            "interconnect=nvswitch --scenario gpu_counts=2,4,8"
+            "interconnect=nvswitch --scenario gpu_counts=2,4,8 --scenario "
+            "sync_strategy=atomic (strategy knobs ride in extras: "
+            "--scenario extra.poll_ns=240 --scenario extra.workload_util=0.5)"
         ),
     )
     parser.add_argument(

@@ -24,10 +24,12 @@ from repro.experiments.exp_pitfalls import run_deadlock, run_fig18
 from repro.experiments.exp_reduction import run_fig15, run_fig16, run_table5, run_table6
 from repro.experiments.exp_sync import (
     FIG7_SCENARIO,
+    SYNC_METHODS_SCENARIOS,
     run_fig4,
     run_fig5,
     run_fig7,
     run_fig8,
+    run_sync_methods,
     run_table2,
 )
 from repro.experiments.scenario import PAPER_SCENARIO, Scenario
@@ -97,6 +99,13 @@ _SPECS: List[ExperimentSpec] = [
         run_fig9,
         default_scenarios=(Scenario(gpus=("V100",)),),
         tags=("launch", "multigrid", "multi-gpu"),
+    ),
+    ExperimentSpec(
+        "sync_methods",
+        "Multi-device synchronization methods: strategy sweep",
+        run_sync_methods,
+        default_scenarios=SYNC_METHODS_SCENARIOS,
+        tags=("sync", "multigrid", "multi-gpu", "strategy", "smoke"),
     ),
     ExperimentSpec(
         "table3", "Projected concurrency (Little's law)", run_table3,

@@ -166,9 +166,19 @@ def execute_point(
     return PointResult(exp_id, scenario, report=report)
 
 
-def _pool_worker(args: Tuple[str, Dict[str, Any], bool, Optional[str]]):
-    """Top-level (picklable) pool entry: scenario travels as its dict form."""
-    exp_id, scenario_dict, use_cache, cache_dir = args
+def _pool_worker(args: Tuple[str, Dict[str, Any], bool, Optional[str], Optional[str]]):
+    """Top-level (picklable) pool entry: scenario travels as its dict form.
+
+    The parent's ``code_version`` travels with the payload and pins the
+    worker's memo: under the ``spawn`` start method a fresh interpreter
+    would otherwise recompute the digest from the filesystem mid-run, so
+    a source edit during a parallel sweep could split one run across two
+    cache keys (and mix results from two code states).
+    """
+    global _CODE_VERSION
+    exp_id, scenario_dict, use_cache, cache_dir, code_ver = args
+    if code_ver:
+        _CODE_VERSION = code_ver
     result = execute_point(
         exp_id,
         Scenario.from_dict(scenario_dict),
@@ -203,9 +213,12 @@ def run_points(
             execute_point(e, s, use_cache=use_cache, cache_dir=cache_dir)
             for e, s in points
         ]
-    code_version()  # warm the memo so fork-started workers inherit it
+    # Compute once in the parent and ship to every worker: fork-started
+    # workers inherit the memo anyway, but spawn-started ones would
+    # re-digest the filesystem mid-run without the explicit handoff.
+    version = code_version()
     payload = [
-        (e, s.to_dict(), use_cache, str(cache_dir) if cache_dir else None)
+        (e, s.to_dict(), use_cache, str(cache_dir) if cache_dir else None, version)
         for e, s in points
     ]
     with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -30,14 +31,40 @@ from repro.sim.arch import (
 )
 from repro.sim.interconnect import INTERCONNECT_KINDS, build_interconnect
 from repro.sim.node import Node
+from repro.sync.strategies import STRATEGY_KINDS
 
 __all__ = [
     "Scenario",
     "PAPER_SCENARIO",
+    "canonicalize_extra_value",
     "parse_override",
     "apply_overrides",
     "valid_override_keys",
 ]
+
+
+def canonicalize_extra_value(value: Any) -> str:
+    """Canonical string form of one ``extras`` value.
+
+    Numeric spellings round-trip through ``int``/``float`` before hashing
+    so equivalent values share one content hash (and therefore one cache
+    entry): ``extra.n=10`` and ``extra.n=010`` are the same scenario, as
+    are ``0.5`` and ``5e-1``.  Non-numeric values pass through as plain
+    strings.  Ints and floats stay distinct (``10`` vs ``10.0``) — they
+    are different values to a driver that parses the knob as written.
+    """
+    s = str(value).strip()
+    try:
+        return str(int(s, 10))
+    except ValueError:
+        pass
+    try:
+        f = float(s)
+        if math.isfinite(f):
+            return repr(f)
+    except ValueError:
+        pass
+    return str(value)
 
 
 def _canonical_node_name(name: str) -> str:
@@ -74,9 +101,18 @@ class Scenario:
         Empty means "use the driver's paper default".
     size_bytes:
         Payload size for the reduction experiments.  ``None`` = paper size.
+    sync_strategy:
+        Barrier strategy for the sync drivers (``cooperative``, ``atomic``,
+        ``cpu`` — :data:`repro.sync.STRATEGY_KINDS`).  ``None`` keeps each
+        scope's default (the cooperative launch), byte-identical to the
+        pre-knob pipeline.  Strategy tuning knobs (``poll_ns``,
+        ``poll_read_ns``, ``workload_util``, ``atomic_service_ns``) ride
+        in ``extras`` and are collected by :meth:`sync_knobs`.
     extras:
         Free-form ``(key, value)`` string pairs for driver-specific knobs;
-        kept sorted so equal contents always hash equally.
+        kept sorted, with numeric values canonicalized
+        (:func:`canonicalize_extra_value`), so equal contents always hash
+        equally.
     """
 
     gpus: Tuple[str, ...] = ("V100", "P100")
@@ -85,6 +121,7 @@ class Scenario:
     interconnect: Optional[str] = None
     gpu_counts: Tuple[int, ...] = ()
     size_bytes: Optional[int] = None
+    sync_strategy: Optional[str] = None
     extras: Tuple[Tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
@@ -106,8 +143,17 @@ class Scenario:
         object.__setattr__(
             self,
             "extras",
-            tuple(sorted((str(k), str(v)) for k, v in self.extras)),
+            tuple(
+                sorted(
+                    (str(k), canonicalize_extra_value(v)) for k, v in self.extras
+                )
+            ),
         )
+        if self.sync_strategy is not None and self.sync_strategy not in STRATEGY_KINDS:
+            raise ValueError(
+                f"unknown sync_strategy {self.sync_strategy!r}; "
+                f"available: {', '.join(STRATEGY_KINDS)}"
+            )
         if self.interconnect is not None and self.interconnect not in INTERCONNECT_KINDS:
             raise ValueError(
                 f"unknown interconnect {self.interconnect!r}; "
@@ -179,11 +225,37 @@ class Scenario:
                 return v
         return default
 
+    def extra_float(self, key: str, default: Optional[float] = None) -> Optional[float]:
+        """A free-form knob parsed as a float (canonical extras always parse)."""
+        v = self.extra(key)
+        return float(v) if v is not None else default
+
+    def extra_int(self, key: str, default: Optional[int] = None) -> Optional[int]:
+        """A free-form knob parsed as an int."""
+        v = self.extra(key)
+        return int(v) if v is not None else default
+
+    def sync_knobs(self) -> Dict[str, float]:
+        """Strategy tuning knobs for the sync drivers, parsed from extras.
+
+        Collects the :data:`repro.sync.STRATEGY_KNOB_KEYS` subset of
+        ``extras`` as floats — the dict the sync scopes accept as
+        ``strategy_knobs`` next to a ``sync_strategy`` kind string.
+        """
+        from repro.sync.groups import STRATEGY_KNOB_KEYS
+
+        out: Dict[str, float] = {}
+        for key in STRATEGY_KNOB_KEYS:
+            v = self.extra_float(key)
+            if v is not None:
+                out[key] = v
+        return out
+
     # -- identity --------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-native representation (lists, not tuples) — cache/CLI form."""
-        return {
+        data = {
             "gpus": list(self.gpus),
             "node": self.node,
             "gpu_count": self.gpu_count,
@@ -192,6 +264,12 @@ class Scenario:
             "size_bytes": self.size_bytes,
             "extras": [list(kv) for kv in self.extras],
         }
+        # Omitted when unset: a default-strategy scenario's canonical form
+        # (hence its content hash, cache key and report provenance) is
+        # byte-identical to the pre-sync_strategy pipeline.
+        if self.sync_strategy is not None:
+            data["sync_strategy"] = self.sync_strategy
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
@@ -223,6 +301,8 @@ class Scenario:
             parts.append("n=" + ",".join(str(n) for n in self.gpu_counts))
         if self.size_bytes:
             parts.append(f"{self.size_bytes}B")
+        if self.sync_strategy:
+            parts.append(f"sync={self.sync_strategy}")
         parts.extend(f"{k}={v}" for k, v in self.extras)
         return ":".join(parts)
 
@@ -240,6 +320,7 @@ _SCALAR_FIELDS = {
     "gpu_count": int,
     "interconnect": str,
     "size_bytes": int,
+    "sync_strategy": str,
 }
 # Driver-specific knobs must be namespaced so a typo in a real field name
 # ("gpu=V100") errors instead of silently riding along as an ignored extra

@@ -76,6 +76,8 @@ def simulate_grid_sync(
     participating_blocks: Optional[int] = None,
     engine: Optional[Engine] = None,
     sm_count: Optional[int] = None,
+    strategy=None,
+    strategy_knobs=None,
 ) -> GridSyncResult:
     """Deprecated shim over :class:`repro.sync.GridGroup`.
 
@@ -98,7 +100,8 @@ def simulate_grid_sync(
     if n_syncs < 1:
         raise ValueError("n_syncs must be >= 1")
     group = GridGroup(
-        spec, blocks_per_sm, threads_per_block, engine=engine, sm_count=sm_count
+        spec, blocks_per_sm, threads_per_block, engine=engine, sm_count=sm_count,
+        strategy=strategy, strategy_knobs=strategy_knobs,
     )
     return group.simulate(
         n_syncs=n_syncs, participating_blocks=participating_blocks

@@ -11,8 +11,11 @@ Three distinct concerns live here:
   declared the buffer ``volatile``); reading another thread's uncommitted
   slot yields the stale committed value and records a race.
 * **Timing** — :class:`L2AtomicUnit` (serialized atomic port used by the
-  grid barrier protocol) and :class:`HBM` (streaming bandwidth model used
-  by the reduction experiments) turn byte counts into nanoseconds.
+  grid barrier protocol), :class:`HBM` (streaming bandwidth model used
+  by the reduction experiments) and :class:`MemoryChannel` (shared
+  bandwidth carrying spin-poll flag reads *and* workload traffic, the
+  contention behind the software barrier's detection lag) turn byte
+  counts into nanoseconds.
 """
 
 from __future__ import annotations
@@ -25,7 +28,14 @@ import numpy as np
 from repro.sim.arch import GPUSpec, HBMCalib
 from repro.sim.engine import Engine, Resource, Timeout
 
-__all__ = ["SharedMemory", "L2AtomicUnit", "HBM", "DeviceBuffer", "RaceRecord"]
+__all__ = [
+    "SharedMemory",
+    "L2AtomicUnit",
+    "HBM",
+    "DeviceBuffer",
+    "MemoryChannel",
+    "RaceRecord",
+]
 
 
 @dataclass(frozen=True)
@@ -157,6 +167,65 @@ class L2AtomicUnit:
         yield self._service
         self.ops += 1
         self.port.release()
+
+
+class MemoryChannel:
+    """Shared memory channel carrying spin-poll flag reads plus workload traffic.
+
+    The software atomic barrier's waiters spin-read a release flag; those
+    reads are not free — they occupy the same memory channel (L2 port for a
+    grid, interconnect link for a multi-grid) as the workload's own traffic,
+    which is the contention effect Stuart & Owens measure for GPU
+    synchronization primitives.  The channel is an *analytic* aggregate, not
+    a DES resource: each of ``n_pollers`` spinners issues one flag read
+    every ``poll_ns`` that occupies the channel for ``read_ns``, and a
+    fraction ``workload_util`` of the channel is already busy with workload
+    traffic.  Once the offered poll traffic exceeds what the residual
+    capacity can carry, the effective poll period is service-bound::
+
+        effective_poll_ns = max(poll_ns, n_pollers * read_ns / (1 - workload_util))
+
+    and every individual read is stretched by the workload share
+    (``read_ns / (1 - workload_util)``).  Both terms are deterministic and
+    monotone in ``n_pollers`` and ``workload_util``, so detection lag grows
+    with participant count and with injected workload traffic — the physics
+    the fixed ``poll_ns / 2`` constant ignored.
+    """
+
+    def __init__(self, read_ns: float, workload_util: float = 0.0, name: str = "mem-channel"):
+        if read_ns < 0:
+            raise ValueError("read_ns must be non-negative")
+        self.name = name
+        self.read_ns = float(read_ns)
+        self.workload_util = 0.0
+        self.inject_workload(workload_util)
+        #: Detection-lag computations served (one per waiter-round).
+        self.detections = 0
+
+    def inject_workload(self, util: float) -> None:
+        """Set the fraction of channel capacity consumed by workload traffic."""
+        if not (0.0 <= util < 1.0):
+            raise ValueError(f"workload_util must be in [0, 1), got {util!r}")
+        self.workload_util = float(util)
+
+    def effective_poll_ns(self, n_pollers: int, poll_ns: float) -> float:
+        """Realized poll period once the pollers share the residual capacity."""
+        if n_pollers < 0:
+            raise ValueError("n_pollers must be non-negative")
+        if poll_ns <= 0:
+            raise ValueError("poll_ns must be positive")
+        capacity = 1.0 - self.workload_util
+        return max(float(poll_ns), n_pollers * self.read_ns / capacity)
+
+    def stretched_read_ns(self, extra_ns: float = 0.0) -> float:
+        """One flag read (plus ``extra_ns`` of propagation) under contention."""
+        return (self.read_ns + extra_ns) / (1.0 - self.workload_util)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryChannel({self.name!r}, read_ns={self.read_ns}, "
+            f"workload_util={self.workload_util})"
+        )
 
 
 class HBM:

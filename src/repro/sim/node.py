@@ -146,6 +146,8 @@ def simulate_multigrid_sync(
     participating_gpus: Optional[Sequence[int]] = None,
     full_local_participation: bool = True,
     engine: Optional[Engine] = None,
+    strategy=None,
+    strategy_knobs=None,
 ) -> MultiGridSyncResult:
     """Deprecated shim over :class:`repro.sync.MultiGridGroup`.
 
@@ -171,6 +173,8 @@ def simulate_multigrid_sync(
         threads_per_block,
         gpu_ids=gpu_ids,
         engine=engine,
+        strategy=strategy,
+        strategy_knobs=strategy_knobs,
         full_local_participation=full_local_participation,
     )
     return group.simulate(n_syncs=n_syncs, participating_gpus=participating_gpus)

@@ -20,6 +20,7 @@ from repro.sync.factory import (
     this_warp,
 )
 from repro.sync.groups import (
+    STRATEGY_KNOB_KEYS,
     BlockGroup,
     GridGroup,
     HostBarrierGroup,
@@ -48,6 +49,7 @@ __all__ = [
     "SoftwareAtomicBarrier",
     "CpuBarrier",
     "STRATEGY_KINDS",
+    "STRATEGY_KNOB_KEYS",
     # concrete scopes
     "WarpGroup",
     "BlockGroup",

@@ -21,16 +21,16 @@ this package importable from the pure-``sim`` layer.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.sync.groups import (
     BlockGroup,
     GridGroup,
     HostBarrierGroup,
     MultiGridGroup,
+    StrategyArg,
     WarpGroup,
 )
-from repro.sync.strategies import BarrierStrategy
 
 __all__ = [
     "this_warp",
@@ -46,12 +46,13 @@ def this_warp(
     size: int = 32,
     kind: str = "tile",
     device: int = 0,
-    strategy: Optional[BarrierStrategy] = None,
+    strategy: StrategyArg = None,
+    strategy_knobs: Optional[Mapping[str, float]] = None,
 ) -> WarpGroup:
     """Warp-level group on one of the runtime's devices."""
     return WarpGroup(
         rt.device(device).spec, size=size, kind=kind, engine=rt.engine,
-        strategy=strategy,
+        strategy=strategy, strategy_knobs=strategy_knobs,
     )
 
 
@@ -59,11 +60,13 @@ def this_block(
     rt,
     warps_per_block: int,
     device: int = 0,
-    strategy: Optional[BarrierStrategy] = None,
+    strategy: StrategyArg = None,
+    strategy_knobs: Optional[Mapping[str, float]] = None,
 ) -> BlockGroup:
     """Block-level group (``__syncthreads``) on one device."""
     return BlockGroup(
-        rt.device(device).spec, warps_per_block, engine=rt.engine, strategy=strategy
+        rt.device(device).spec, warps_per_block, engine=rt.engine,
+        strategy=strategy, strategy_knobs=strategy_knobs,
     )
 
 
@@ -72,16 +75,25 @@ def this_grid(
     blocks_per_sm: int,
     threads_per_block: int,
     device: int = 0,
-    strategy: Optional[BarrierStrategy] = None,
+    strategy: StrategyArg = None,
+    strategy_knobs: Optional[Mapping[str, float]] = None,
 ) -> GridGroup:
     """Device-wide group — requires the grid to be co-resident, the same
-    validation ``cudaLaunchCooperativeKernel`` performs."""
+    validation ``cudaLaunchCooperativeKernel`` performs.
+
+    ``strategy`` accepts a kind string (``"cooperative"``, ``"atomic"``,
+    ``"cpu"``) or a ready-made :class:`~repro.sync.strategies.BarrierStrategy`;
+    ``strategy_knobs`` tunes a kind string (``poll_ns``, ``poll_read_ns``,
+    ``workload_util``, ``atomic_service_ns``) — the ``Scenario``
+    ``sync_strategy`` / ``extra.<knob>`` plumbing lands here.
+    """
     return GridGroup(
         rt.device(device).spec,
         blocks_per_sm,
         threads_per_block,
         engine=rt.engine,
         strategy=strategy,
+        strategy_knobs=strategy_knobs,
     )
 
 
@@ -90,10 +102,17 @@ def this_multi_grid(
     blocks_per_sm: int,
     threads_per_block: int,
     gpu_ids: Optional[Sequence[int]] = None,
-    strategy: Optional[BarrierStrategy] = None,
+    strategy: StrategyArg = None,
+    strategy_knobs: Optional[Mapping[str, float]] = None,
     full_local_participation: bool = True,
 ) -> MultiGridGroup:
-    """Multi-device group over the runtime's node (default: every GPU)."""
+    """Multi-device group over the runtime's node (default: every GPU).
+
+    ``strategy``/``strategy_knobs`` as in :func:`this_grid` — a kind
+    string selects the paper's sync method (cooperative launch, atomic
+    software barrier, CPU-side barrier) calibrated to this node's
+    interconnect.
+    """
     return MultiGridGroup(
         rt.node,
         blocks_per_sm,
@@ -101,6 +120,7 @@ def this_multi_grid(
         gpu_ids=gpu_ids,
         engine=rt.engine,
         strategy=strategy,
+        strategy_knobs=strategy_knobs,
         full_local_participation=full_local_participation,
     )
 
@@ -108,10 +128,12 @@ def this_multi_grid(
 def cpu_barrier_team(
     rt,
     n_threads: Optional[int] = None,
-    strategy: Optional[BarrierStrategy] = None,
+    strategy: StrategyArg = None,
+    strategy_knobs: Optional[Mapping[str, float]] = None,
 ) -> HostBarrierGroup:
     """CPU-side barrier scope: one host thread per GPU (Fig 6 pattern)."""
     n = n_threads if n_threads is not None else rt.gpu_count
     return HostBarrierGroup(
-        n, rt.node.spec.omp_barrier_ns(n), engine=rt.engine, strategy=strategy
+        n, rt.node.spec.omp_barrier_ns(n), engine=rt.engine,
+        strategy=strategy, strategy_knobs=strategy_knobs,
     )

@@ -27,15 +27,22 @@ so every regenerated table and figure is byte-for-byte unchanged.
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Sequence
+from typing import Generator, Mapping, Optional, Sequence, Union
 
 from repro.sim.arch import GPUSpec
 from repro.sim.engine import Engine, Resource, Signal, Timeout
+from repro.sim.memory import MemoryChannel
 from repro.sim.occupancy import blocks_per_sm as occ_blocks_per_sm
 from repro.sim.sm import block_sync_latency_cycles
 
 from repro.sync.scope import BarrierScope
-from repro.sync.strategies import BarrierStrategy, CooperativeBarrier, CpuBarrier
+from repro.sync.strategies import (
+    STRATEGY_KINDS,
+    BarrierStrategy,
+    CooperativeBarrier,
+    CpuBarrier,
+    SoftwareAtomicBarrier,
+)
 
 __all__ = [
     "WarpGroup",
@@ -43,12 +50,92 @@ __all__ = [
     "GridGroup",
     "MultiGridGroup",
     "HostBarrierGroup",
+    "STRATEGY_KNOB_KEYS",
 ]
 
 # How the grid barrier's calibrated fixed cost splits between the arrive
 # and release phases.  The split does not affect totals; it shapes
 # intermediate event times.  (Moved verbatim from sim/device.py.)
 GRID_ARRIVE_FRACTION = 0.4
+
+#: Per-strategy tuning knobs a scope accepts alongside a strategy *kind*
+#: (the ``Scenario`` ``extra.<knob>`` namespace maps straight onto these).
+STRATEGY_KNOB_KEYS = ("poll_ns", "poll_read_ns", "workload_util", "atomic_service_ns")
+
+#: A strategy argument: a concrete instance, a registry kind from
+#: :data:`~repro.sync.strategies.STRATEGY_KINDS`, or ``None`` (scope default).
+StrategyArg = Union[BarrierStrategy, str, None]
+
+
+class _KnobTracker:
+    """Dict-shaped knob view that records which keys a builder consulted.
+
+    ``_resolve_strategy`` uses the read-set to reject knobs the chosen
+    (scope, kind) pair never looks at — ``extra.poll_ns`` on a CPU
+    barrier must fail loudly, not silently leave the numbers unchanged.
+    """
+
+    def __init__(self, knobs: Mapping[str, float]):
+        self.knobs = dict(knobs)
+        self.read: set = set()
+
+    def get(self, key: str, default=None):
+        self.read.add(key)
+        return self.knobs.get(key, default)
+
+    @property
+    def unused(self) -> list:
+        return sorted(set(self.knobs) - self.read)
+
+
+def _check_knobs(knobs: Optional[Mapping[str, float]], scope_name: str) -> "_KnobTracker":
+    knobs = dict(knobs) if knobs else {}
+    unknown = set(knobs) - set(STRATEGY_KNOB_KEYS)
+    if unknown:
+        raise ValueError(
+            f"unknown strategy knob(s) {sorted(unknown)} for {scope_name}; "
+            f"valid knobs: {', '.join(STRATEGY_KNOB_KEYS)}"
+        )
+    return _KnobTracker(knobs)
+
+
+def _resolve_strategy(
+    scope, strategy: StrategyArg, knobs: Optional[Mapping[str, float]]
+) -> Optional[BarrierStrategy]:
+    """Turn a strategy *kind* into a concrete, scope-calibrated instance.
+
+    ``None`` and ready-made :class:`BarrierStrategy` instances pass
+    through untouched (knobs apply only to kind strings — a constructed
+    strategy already carries its parameters).  Kind strings dispatch to
+    the scope's ``_build_strategy``, which owns the level's calibrated
+    costs; unsupported kinds fail loudly with the scope named.
+    """
+    scope_name = type(scope).__name__
+    if strategy is None or isinstance(strategy, BarrierStrategy):
+        if knobs:
+            raise ValueError(
+                f"strategy knobs {sorted(knobs)} apply only to strategy kind "
+                f"strings, not to {'the default' if strategy is None else 'a constructed'} "
+                f"strategy on {scope_name}"
+            )
+        return strategy
+    if strategy not in STRATEGY_KINDS:
+        raise ValueError(
+            f"unknown sync strategy {strategy!r}; available: "
+            f"{', '.join(STRATEGY_KINDS)}"
+        )
+    tracker = _check_knobs(knobs, scope_name)
+    resolved = scope._build_strategy(strategy, tracker)
+    if resolved is None:
+        raise ValueError(
+            f"strategy {strategy!r} is not supported by {scope_name}"
+        )
+    if tracker.unused:
+        raise ValueError(
+            f"strategy knob(s) {tracker.unused} have no effect on "
+            f"{scope_name} with strategy {strategy!r}"
+        )
+    return resolved
 
 
 class WarpGroup(BarrierScope):
@@ -69,7 +156,8 @@ class WarpGroup(BarrierScope):
         size: int = 32,
         kind: str = "tile",
         engine: Optional[Engine] = None,
-        strategy: Optional[BarrierStrategy] = None,
+        strategy: StrategyArg = None,
+        strategy_knobs: Optional[Mapping[str, float]] = None,
     ):
         if not (1 <= size <= spec.warp_size):
             raise ValueError(f"warp group size must be in [1, {spec.warp_size}]")
@@ -80,10 +168,17 @@ class WarpGroup(BarrierScope):
         self._size = size
         super().__init__(
             engine,
-            strategy
-            or CooperativeBarrier(
-                expected=size,
-                release_delay_ns=spec.cycles_to_ns(self._latency_cycles(spec, kind, size)),
+            _resolve_strategy(self, strategy, strategy_knobs)
+            or self._build_strategy("cooperative", {}),
+        )
+
+    def _build_strategy(self, kind: str, knobs: Mapping[str, float]):
+        if kind != "cooperative":
+            return None  # warp barriers have no software/CPU variant
+        return CooperativeBarrier(
+            expected=self._size,
+            release_delay_ns=self.spec.cycles_to_ns(
+                self._latency_cycles(self.spec, self.kind, self._size)
             ),
         )
 
@@ -131,7 +226,8 @@ class BlockGroup(BarrierScope):
         spec: GPUSpec,
         warps_per_block: int,
         engine: Optional[Engine] = None,
-        strategy: Optional[BarrierStrategy] = None,
+        strategy: StrategyArg = None,
+        strategy_knobs: Optional[Mapping[str, float]] = None,
     ):
         if warps_per_block < 1:
             raise ValueError("a block has at least one warp")
@@ -142,18 +238,26 @@ class BlockGroup(BarrierScope):
             )
         self.spec = spec
         self.warps_per_block = warps_per_block
-        service_ns = spec.cycles_to_ns(spec.block_sync.per_warp_service_cycles)
-        latency_ns = spec.cycles_to_ns(
-            block_sync_latency_cycles(spec, warps_per_block)
-        )
         super().__init__(
             engine,
-            strategy
-            or CooperativeBarrier(
-                expected=warps_per_block,
-                release_delay_ns=max(0.0, latency_ns - warps_per_block * service_ns),
-                atomic_service_ns=service_ns,
+            _resolve_strategy(self, strategy, strategy_knobs)
+            or self._build_strategy("cooperative", {}),
+        )
+
+    def _build_strategy(self, kind: str, knobs: Mapping[str, float]):
+        if kind != "cooperative":
+            return None  # __syncthreads is always the hardware barrier unit
+        spec = self.spec
+        service_ns = spec.cycles_to_ns(spec.block_sync.per_warp_service_cycles)
+        latency_ns = spec.cycles_to_ns(
+            block_sync_latency_cycles(spec, self.warps_per_block)
+        )
+        return CooperativeBarrier(
+            expected=self.warps_per_block,
+            release_delay_ns=max(
+                0.0, latency_ns - self.warps_per_block * service_ns
             ),
+            atomic_service_ns=service_ns,
         )
 
     @property
@@ -195,7 +299,8 @@ class GridGroup(BarrierScope):
         threads_per_block: int,
         engine: Optional[Engine] = None,
         sm_count: Optional[int] = None,
-        strategy: Optional[BarrierStrategy] = None,
+        strategy: StrategyArg = None,
+        strategy_knobs: Optional[Mapping[str, float]] = None,
     ):
         if blocks_per_sm < 1:
             raise ValueError("blocks_per_sm must be >= 1")
@@ -217,17 +322,56 @@ class GridGroup(BarrierScope):
         self._t_release = Timeout(gs.per_warp_release_ns)
         super().__init__(
             engine,
-            strategy
-            or CooperativeBarrier(
-                expected=self.total_blocks,
-                release_delay_ns=gs.base_ns * (1.0 - GRID_ARRIVE_FRACTION),
-                atomic_service_ns=gs.atomic_service_ns(blocks_per_sm, self.sm_count),
-            ),
+            _resolve_strategy(self, strategy, strategy_knobs)
+            or self._build_strategy("cooperative", {}),
         )
         self._release_ports = [
             Resource(self.engine, capacity=1, name=f"sm{j}-release")
             for j in range(self.sm_count)
         ]
+
+    def _build_strategy(self, kind: str, knobs: Mapping[str, float]):
+        gs = self.spec.grid_sync
+
+        def service():
+            return knobs.get(
+                "atomic_service_ns",
+                gs.atomic_service_ns(self.blocks_per_sm, self.sm_count),
+            )
+
+        if kind == "cooperative":
+            return CooperativeBarrier(
+                expected=self.total_blocks,
+                release_delay_ns=gs.base_ns * (1.0 - GRID_ARRIVE_FRACTION),
+                atomic_service_ns=service(),
+            )
+        if kind == "atomic":
+            # The kernel-built barrier: same serialized arrival counter,
+            # but release detection is a spin-poll on an L2-homed flag
+            # whose reads contend on the L2 port with every other spinner
+            # (a plain read costs a fraction of the atomic RMW service).
+            svc = service()
+            return SoftwareAtomicBarrier(
+                expected=self.total_blocks,
+                atomic_service_ns=svc,
+                poll_ns=knobs.get("poll_ns", 120.0),
+                channel=MemoryChannel(
+                    read_ns=knobs.get("poll_read_ns", 0.25 * svc),
+                    workload_util=knobs.get("workload_util", 0.0),
+                    name=f"{self.spec.name}-l2-poll",
+                ),
+            )
+        if kind == "cpu":
+            # CPU-side grid sync = end the kernel and relaunch it: every
+            # block "arrives" by terminating, and the host pays one
+            # traditional launch gap plus the dispatch depth before the
+            # grid is running again (the Table I null-kernel pipeline).
+            calib = self.spec.launch_calib("traditional")
+            return CpuBarrier(
+                expected=self.total_blocks,
+                cost_ns=calib.gap_for(1) + calib.dispatch_for(1),
+            )
+        return None  # pragma: no cover - STRATEGY_KINDS is closed
 
     @property
     def size(self) -> int:
@@ -356,7 +500,8 @@ class MultiGridGroup(BarrierScope):
         threads_per_block: int,
         gpu_ids: Optional[Sequence[int]] = None,
         engine: Optional[Engine] = None,
-        strategy: Optional[BarrierStrategy] = None,
+        strategy: StrategyArg = None,
+        strategy_knobs: Optional[Mapping[str, float]] = None,
         full_local_participation: bool = True,
     ):
         from repro.sim.node import cross_gpu_latency_ns, multigrid_local_latency_ns
@@ -383,11 +528,53 @@ class MultiGridGroup(BarrierScope):
         self._t_release_local = Timeout(self.local_ns - arrive_ns)
         super().__init__(
             engine,
-            strategy
-            or CooperativeBarrier(
-                expected=len(ids), release_delay_ns=self.cross_ns
-            ),
+            _resolve_strategy(self, strategy, strategy_knobs)
+            or self._build_strategy("cooperative", {}),
         )
+
+    def _build_strategy(self, kind: str, knobs: Mapping[str, float]):
+        ids = self.gpu_ids
+        if kind == "cooperative":
+            return CooperativeBarrier(
+                expected=len(ids), release_delay_ns=self.cross_ns
+            )
+        if kind == "atomic":
+            # Software multi-device barrier: each GPU's leader block does a
+            # remote atomic RMW on a flag homed on the leader GPU (one link
+            # latency of serialized service per arrival), then spin-polls
+            # it over the interconnect.  The poll reads are offered load on
+            # the flag-home link, and remote members additionally pay
+            # their hop distance per read — so detection lag carries the
+            # topology (cube-mesh two-hop members, ring staircase) as well
+            # as the participant count and any injected workload traffic.
+            ic = self.node.interconnect
+            link = ic.link
+            leader = min(ids)
+            others = [m for m in ids if m != leader]
+            mean_hops = (
+                sum(ic.hops(leader, m) for m in others) / len(others)
+                if others
+                else 0.0
+            )
+            return SoftwareAtomicBarrier(
+                expected=len(ids),
+                atomic_service_ns=knobs.get("atomic_service_ns", link.latency_ns),
+                poll_ns=knobs.get("poll_ns", 2.0 * link.latency_ns),
+                channel=MemoryChannel(
+                    read_ns=knobs.get("poll_read_ns", 0.5 * link.latency_ns),
+                    workload_util=knobs.get("workload_util", 0.0),
+                    name=f"{ic.name}-flag-link",
+                ),
+                flag_rtt_ns=mean_hops * link.latency_ns,
+            )
+        if kind == "cpu":
+            # Fig 6 pattern priced at this group's width: one host thread
+            # per participating GPU meets at the node's OpenMP barrier.
+            return CpuBarrier(
+                expected=len(ids),
+                cost_ns=self.node.spec.omp_barrier_ns(len(ids)),
+            )
+        return None  # pragma: no cover - STRATEGY_KINDS is closed
 
     @property
     def size(self) -> int:
@@ -462,16 +649,24 @@ class HostBarrierGroup(BarrierScope):
         n_threads: int,
         cost_ns: float,
         engine: Optional[Engine] = None,
-        strategy: Optional[BarrierStrategy] = None,
+        strategy: StrategyArg = None,
+        strategy_knobs: Optional[Mapping[str, float]] = None,
     ):
         if n_threads < 1:
             raise ValueError("team needs at least one thread")
         self.n_threads = n_threads
         self.cost_ns = float(cost_ns)
         super().__init__(
-            engine, strategy or CpuBarrier(expected=n_threads, cost_ns=cost_ns)
+            engine,
+            _resolve_strategy(self, strategy, strategy_knobs)
+            or self._build_strategy("cpu", {}),
         )
         self._counters: dict = {}
+
+    def _build_strategy(self, kind: str, knobs: Mapping[str, float]):
+        if kind != "cpu":
+            return None  # host threads rendezvous only at the OpenMP barrier
+        return CpuBarrier(expected=self.n_threads, cost_ns=self.cost_ns)
 
     @property
     def size(self) -> int:

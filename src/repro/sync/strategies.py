@@ -34,7 +34,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.sim.engine import Engine, Signal, Timeout
-from repro.sim.memory import L2AtomicUnit
+from repro.sim.memory import L2AtomicUnit, MemoryChannel
 
 __all__ = [
     "Round",
@@ -149,26 +149,68 @@ class SoftwareAtomicBarrier(BarrierStrategy):
     Every arrival is a serialized atomic RMW on the counter; the last
     arrival performs one more serialized atomic (the generation-flag
     write) and releases.  Waiters spin-read the flag, so on top of the
-    release they pay the expected detection lag of half a poll period —
-    the price of not having the cooperative launch's hardware broadcast.
+    release they pay a detection lag — the price of not having the
+    cooperative launch's hardware broadcast.
+
+    Without a ``channel`` the lag is the classic expected half poll period
+    (``poll_ns / 2``, plus ``flag_rtt_ns`` of propagation for a remotely
+    homed flag).  With a :class:`~repro.sim.memory.MemoryChannel` the poll
+    reads are injected as load on that channel, so the lag is computed
+    per wait from the *effective* poll period — it grows with spinner
+    count and with concurrent workload traffic (Stuart & Owens's
+    contention effect; see :meth:`detection_lag_ns`).
+
+    The detection-lag timeout is constructed **per wait**: the lag is
+    state-dependent under contention, and a fresh ``Timeout`` per waiter
+    and round keeps every resume record independent (the shared-instance
+    reuse the pre-contention code relied on is pinned safe only for the
+    constant-lag path by the regression tests).
     """
 
-    def __init__(self, expected: int, atomic_service_ns: float, poll_ns: float = 120.0):
+    def __init__(
+        self,
+        expected: int,
+        atomic_service_ns: float,
+        poll_ns: float = 120.0,
+        channel: Optional[MemoryChannel] = None,
+        flag_rtt_ns: float = 0.0,
+    ):
         super().__init__(expected)
         if atomic_service_ns < 0:
             raise ValueError("atomic_service_ns must be non-negative")
         if poll_ns <= 0:
             raise ValueError("poll_ns must be positive")
+        if flag_rtt_ns < 0:
+            raise ValueError("flag_rtt_ns must be non-negative")
         self.atomic_service_ns = float(atomic_service_ns)
         self.poll_ns = float(poll_ns)
+        self.channel = channel
+        self.flag_rtt_ns = float(flag_rtt_ns)
         self._counter_port: Optional[L2AtomicUnit] = None
-        self._t_detect = Timeout(self.poll_ns * 0.5)
 
     def bind(self, engine: Engine) -> None:
         super().bind(engine)
         self._counter_port = L2AtomicUnit(
             engine, self.atomic_service_ns, name="swbarrier-counter"
         )
+
+    def detection_lag_ns(self) -> float:
+        """Expected spin-poll detection lag of one waiter, right now.
+
+        * No channel: ``poll_ns / 2 + flag_rtt_ns`` — the historical
+          constant (exactly ``poll_ns / 2`` for a locally homed flag).
+        * With a channel: half the *effective* poll period (the spinners'
+          own reads are offered load on the channel; once they exceed the
+          capacity left over by workload traffic, the period is
+          service-bound) plus one contention-stretched flag read round
+          trip.  Monotone in ``expected`` and in the channel's
+          ``workload_util``.
+        """
+        if self.channel is None:
+            return self.poll_ns * 0.5 + self.flag_rtt_ns
+        n_pollers = max(0, self.expected - 1)
+        half_period = 0.5 * self.channel.effective_poll_ns(n_pollers, self.poll_ns)
+        return half_period + self.channel.stretched_read_ns(self.flag_rtt_ns)
 
     def arrive(self, rnd: Round) -> Generator:
         yield from self._counter_port.atomic()
@@ -180,7 +222,9 @@ class SoftwareAtomicBarrier(BarrierStrategy):
 
     def wait(self, rnd: Round) -> Generator:
         yield rnd.release
-        yield self._t_detect
+        if self.channel is not None:
+            self.channel.detections += 1
+        yield Timeout(self.detection_lag_ns())
 
 
 class CpuBarrier(BarrierStrategy):

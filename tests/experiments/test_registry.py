@@ -47,7 +47,7 @@ class TestRegistry:
         expected = {
             "table1", "table2", "table3", "table4", "table5", "table6", "table8",
             "fig4", "fig5", "fig7", "fig8", "fig9", "fig15", "fig16", "fig18",
-            "deadlock", "validation",
+            "deadlock", "validation", "sync_methods",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -195,7 +195,10 @@ class TestTags:
         ids = list(EXPERIMENTS)
         smoke = filter_by_tags(ids, ["smoke"])
         # CI's smoke subset, selected by tag instead of a name list.
-        assert smoke == ["table1", "fig8", "table4", "table5", "deadlock", "validation"]
+        assert smoke == [
+            "table1", "fig8", "sync_methods", "table4", "table5", "deadlock",
+            "validation",
+        ]
         assert filter_by_tags(ids, ["warp", "block"]) == [
             "table2", "fig4", "table5", "fig18"
         ]

@@ -171,3 +171,59 @@ class TestExperimentApi:
             registry.run_experiment("table4")
             registry.run_all(ids=["table1"])
         assert calls == ["table4", "table4", "table1"]
+
+
+class TestWorkerCodeVersion:
+    def test_pool_worker_pins_parent_code_version(self, cache_dir, monkeypatch):
+        """Workers use the version shipped in the payload, never their own
+        filesystem digest — a source edit during a parallel run must not
+        split one run across two cache keys (the spawn start method would
+        otherwise recompute mid-run)."""
+        monkeypatch.setattr(runner, "_CODE_VERSION", None)
+        sentinel = "feedfacefeedface"
+        scen = Scenario(gpus=("V100",))
+        out = runner._pool_worker(
+            ("table4", scen.to_dict(), True, str(cache_dir), sentinel)
+        )
+        assert out[0] == "table4" and out[1] is not None
+        assert runner._CODE_VERSION == sentinel
+        assert list(cache_dir.glob(f"table4-*-{sentinel}.json"))
+
+    def test_run_points_ships_version_with_payload(self, cache_dir, monkeypatch):
+        captured = {}
+        real_worker = runner._pool_worker
+
+        def fake_worker(args):
+            captured["version"] = args[4]
+            return real_worker(args)
+
+        # jobs=2 engages the pool path; run in-process to observe the payload.
+        class FakePool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, payload):
+                return [fn(p) for p in payload]
+
+        monkeypatch.setattr(runner, "ProcessPoolExecutor", FakePool)
+        monkeypatch.setattr(runner, "_pool_worker", fake_worker)
+        points = [("table4", Scenario(gpus=("V100",))), ("table4", Scenario(gpus=("P100",)))]
+        results = runner.run_points(points, jobs=2, cache_dir=cache_dir)
+        assert all(r.ok for r in results)
+        assert captured["version"] == runner.code_version()
+
+
+class TestCanonicalExtrasShareCache:
+    def test_equivalent_extra_spellings_hit_one_entry(self, cache_dir):
+        a = Scenario(gpus=("V100",), extras=(("knob", "10"),))
+        b = Scenario(gpus=("V100",), extras=(("knob", "010"),))
+        first = runner.execute_point("table4", a, cache_dir=cache_dir)
+        second = runner.execute_point("table4", b, cache_dir=cache_dir)
+        assert not first.cached and second.cached
+        assert len(list(cache_dir.glob("table4-*.json"))) == 1

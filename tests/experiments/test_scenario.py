@@ -166,3 +166,81 @@ class TestOverrides:
     def test_apply_overrides_validates(self):
         with pytest.raises(ValueError):
             apply_overrides(PAPER_SCENARIO, ["gpu_count=0"])
+
+
+class TestSyncStrategyKnob:
+    def test_default_is_none_and_omitted_from_canonical_form(self):
+        s = Scenario()
+        assert s.sync_strategy is None
+        # Omission keeps every pre-knob scenario's content hash (and cache
+        # key, and report provenance) byte-identical.
+        assert "sync_strategy" not in s.to_dict()
+
+    def test_set_strategy_serializes_and_round_trips(self):
+        s = Scenario(sync_strategy="atomic")
+        d = s.to_dict()
+        assert d["sync_strategy"] == "atomic"
+        assert Scenario.from_dict(d) == s
+        assert s.content_hash != Scenario().content_hash
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown sync_strategy"):
+            Scenario(sync_strategy="telepathy")
+
+    def test_parse_override(self):
+        assert parse_override("sync_strategy=atomic") == ("sync_strategy", "atomic")
+        s = apply_overrides(Scenario(), ["sync_strategy=cpu"])
+        assert s.sync_strategy == "cpu"
+
+    def test_describe_mentions_strategy(self):
+        assert "sync=atomic" in Scenario(sync_strategy="atomic").describe()
+
+    def test_sync_knobs_collects_known_keys_as_floats(self):
+        s = Scenario(
+            sync_strategy="atomic",
+            extras=(
+                ("poll_ns", "240"),
+                ("workload_util", "0.5"),
+                ("unrelated", "7"),
+            ),
+        )
+        assert s.sync_knobs() == {"poll_ns": 240.0, "workload_util": 0.5}
+
+    def test_typed_extra_accessors(self):
+        s = Scenario(extras=(("n", "010"), ("x", "5e-1")))
+        assert s.extra_int("n") == 10
+        assert s.extra_float("x") == 0.5
+        assert s.extra_int("missing", 3) == 3
+        assert s.extra_float("missing") is None
+
+
+class TestExtrasCanonicalization:
+    def test_equivalent_int_spellings_share_identity(self):
+        a = Scenario(extras=(("n", "10"),))
+        b = Scenario(extras=(("n", "010"),))
+        c = Scenario(extras=(("n", " 10 "),))
+        assert a == b == c
+        assert a.content_hash == b.content_hash == c.content_hash
+
+    def test_equivalent_float_spellings_share_identity(self):
+        a = Scenario(extras=(("u", "0.5"),))
+        b = Scenario(extras=(("u", "5e-1"),))
+        assert a == b
+        assert a.content_hash == b.content_hash
+
+    def test_int_and_float_stay_distinct(self):
+        assert (
+            Scenario(extras=(("n", "10"),)).content_hash
+            != Scenario(extras=(("n", "10.0"),)).content_hash
+        )
+
+    def test_non_numeric_values_pass_through(self):
+        s = Scenario(extras=(("name", "V100-sxm2"), ("inf", "inf")))
+        assert s.extra("name") == "V100-sxm2"
+        # Non-finite floats are not canonicalized (inf/nan stay strings).
+        assert s.extra("inf") == "inf"
+
+    def test_native_numbers_accepted(self):
+        a = Scenario(extras=(("n", 10),))
+        b = Scenario(extras=(("n", "10"),))
+        assert a.content_hash == b.content_hash
