@@ -128,6 +128,56 @@ def _grid_sync_group_atomic() -> int:
     return group.engine.event_count
 
 
+_SIMT_ROUNDS = 40
+
+
+def _simt_barrier_loop():
+    """Fig-4-shaped barrier-delimited phases on the SIMT fast path.
+
+    8 warps x 40 rounds of uniform work + ``__syncthreads``: every round
+    must execute converged (one Timeout / one rendezvous wait per warp),
+    never falling back to per-lane processes.
+    """
+    from repro.cudasim import instructions as ins
+    from repro.sim.arch import V100
+    from repro.sim.exec_block import BlockExecutor
+
+    def program(ctx):
+        for _ in range(_SIMT_ROUNDS):
+            yield ins.FAdd(count=4)
+            yield ins.ChainStep(count=2)
+            yield ins.BlockSync()
+
+    ex = BlockExecutor(V100, nthreads=256)
+    result = ex.run(program)
+    return ex.engine.event_count, result
+
+
+def _simt_divergence_barrier_loop():
+    """Fig-4-shaped divergence-after-barrier workload (the re-fuse bench).
+
+    Every 4th phase runs a uniform divergent ladder with a per-lane tail;
+    the following ``__syncthreads`` is the reconvergence rendezvous.  The
+    warp scheduler must re-fuse there instead of staying thread-precise
+    for the rest of the kernel.
+    """
+    from repro.cudasim import instructions as ins
+    from repro.sim.arch import V100
+    from repro.sim.exec_block import BlockExecutor
+
+    def program(ctx):
+        for r in range(_SIMT_ROUNDS):
+            yield ins.FAdd(count=4)
+            if r % 4 == 0:
+                yield ins.Diverge(arms=1)
+                yield ins.Compute(2.0 + ctx.lane % 3)
+            yield ins.BlockSync()
+
+    ex = BlockExecutor(V100, nthreads=256)
+    result = ex.run(program)
+    return ex.engine.event_count, result
+
+
 def _resource_contention() -> int:
     """FIFO resource under heavy contention (atomic-port pattern)."""
     eng = Engine()
@@ -201,6 +251,34 @@ def test_bench_engine_sync_grid_group(benchmark):
 def test_bench_engine_sync_grid_group_atomic(benchmark):
     """GridGroup under the contended SoftwareAtomicBarrier (events/s entry)."""
     events = benchmark(_grid_sync_group_atomic)
+    _events_per_sec(benchmark, events)
+
+
+def test_bench_engine_simt_barrier_loop(benchmark):
+    """Converged barrier-loop phases (events/s entry).
+
+    Guard: the Fig-4 shape must never de-fuse — a regression back to
+    per-lane fallback multiplies the event count by the warp width and
+    fails here loudly instead of silently slowing the paper regens.
+    """
+    events, result = benchmark(_simt_barrier_loop)
+    assert result.fused_rounds > 0
+    assert result.defuse_count == 0
+    _events_per_sec(benchmark, events)
+
+
+def test_bench_engine_simt_divergence_refuse(benchmark):
+    """Divergence-after-barrier re-convergence (events/s entry).
+
+    Guard: the fused-rounds counter must stay nonzero *after* the first
+    divergent phase (the warps re-fused at the barrier join) and every
+    divergent phase must produce a re-fuse — 8 warps x 10 phases.  A
+    regression to PR 1's permanent fallback zeroes refuse_count and
+    fails this assertion rather than just losing the speedup.
+    """
+    events, result = benchmark(_simt_divergence_barrier_loop)
+    assert result.fused_rounds > 0
+    assert result.refuse_count == 8 * len(range(0, _SIMT_ROUNDS, 4))
     _events_per_sec(benchmark, events)
 
 

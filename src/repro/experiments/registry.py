@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.base import ExperimentReport
+from repro.experiments.exp_divergence import run_divergence
 from repro.experiments.exp_launch import TABLE1_SCENARIO, run_fig9, run_table1
 from repro.experiments.exp_model import run_table3, run_table4, run_validation
 from repro.experiments.exp_pitfalls import run_deadlock, run_fig18
@@ -137,6 +138,14 @@ _SPECS: List[ExperimentSpec] = [
     ExperimentSpec(
         "fig18", "Warp-barrier blocking behaviour", run_fig18,
         default_scenarios=_PER_GPU, tags=("pitfall", "warp"),
+    ),
+    ExperimentSpec(
+        "divergence", "Divergence-heavy barrier-delimited phases",
+        run_divergence,
+        default_scenarios=_PER_GPU, tags=("warp", "divergence", "smoke"),
+        # No published anchor: the rows are booleans auditing the SIMT
+        # fast path's re-convergence plus unanchored phase costs.
+        tolerance=None,
     ),
     ExperimentSpec(
         "deadlock", "Partial-group synchronization outcomes", run_deadlock,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import sys
 import tempfile
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -162,7 +163,18 @@ def execute_point(
         return PointResult(exp_id, scenario, error=traceback.format_exc())
     report.scenario = scenario.to_dict()
     if use_cache:
-        _cache_store(path, report)
+        # A cache-store failure (read-only dir, full disk) must not turn a
+        # finished report into a failed point — or, worse, abort the whole
+        # sweep and lose every sibling's result.  The CLI's contract is
+        # that partial results always reach the merged report/JSON output;
+        # the cache is an optimization, so degrade to uncached and warn.
+        try:
+            _cache_store(path, report)
+        except OSError as exc:
+            print(
+                f"warning: could not write result cache entry {path}: {exc}",
+                file=sys.stderr,
+            )
     return PointResult(exp_id, scenario, report=report)
 
 

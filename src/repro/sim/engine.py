@@ -61,6 +61,7 @@ __all__ = [
     "Process",
     "Signal",
     "Timeout",
+    "WakeAt",
     "AllOf",
     "Resource",
     "DeadlockError",
@@ -126,6 +127,28 @@ class Timeout:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Timeout({self.delay!r})"
+
+
+class WakeAt:
+    """Yieldable that resumes the process at an *absolute* engine time.
+
+    ``time`` must not lie in the past.  Needed where a process has
+    accumulated a future timestamp lane-locally (the SIMT fast path's
+    staggered divergence regions sum ``t = t + delay`` per lane) and must
+    land on it *bit-exactly*: a relative ``Timeout(t - now)`` cannot
+    guarantee ``now + (t - now) == t`` in floats, and a one-ulp slip on a
+    rendezvous timestamp would break the fast path's bit-identical
+    equivalence contract.
+    """
+
+    __slots__ = ("time", "value")
+
+    def __init__(self, time: float, value: Any = None):
+        self.time = time if time.__class__ is float else float(time)
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WakeAt({self.time!r})"
 
 
 class _WaiterBatch:
@@ -451,6 +474,16 @@ class Process:
                 res._waiters.append(self)
         elif cls is AllOf:
             self._wait_all(yielded)
+        elif cls is WakeAt:
+            if yielded.time < engine.now:
+                raise SimulationError(
+                    f"process {self.name!r} yielded WakeAt({yielded.time!r}) "
+                    f"in the past (now={engine.now!r})"
+                )
+            _heappush(
+                engine._heap,
+                (yielded.time, next(engine._seq), self, yielded.value),
+            )
         elif isinstance(yielded, (Timeout, Signal, Process, _Acquire, AllOf)):
             # Subclass of a yieldable: take the generic (isinstance) path.
             self._dispatch_slow(yielded)

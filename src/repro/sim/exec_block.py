@@ -52,8 +52,15 @@ class BlockBarrier:
             self._rounds[idx] = rnd
         return rnd
 
-    def arrive(self, gtid: int) -> Generator:
-        """One thread's barrier arrival; resumes when the block releases."""
+    def arrive_nowait(self, gtid: int) -> Signal:
+        """Count one arrival now; return the round's release signal.
+
+        The split form of :meth:`arrive` — the warp executor's SIMT fast
+        path arrives a whole converged warp (or parks a thread-precise
+        lane for re-convergence) without one generator frame per thread,
+        and all paths share this bookkeeping so arrival counting is
+        identical everywhere.
+        """
         idx = self._counters.get(gtid, 0)
         self._counters[gtid] = idx + 1
         rnd = self._round(idx)
@@ -62,7 +69,11 @@ class BlockBarrier:
             self.shared.commit()
             self.engine.schedule_fire(self.latency_ns, rnd["release"])
             self.rounds_completed += 1
-        yield rnd["release"]
+        return rnd["release"]
+
+    def arrive(self, gtid: int) -> Generator:
+        """One thread's barrier arrival; resumes when the block releases."""
+        yield self.arrive_nowait(gtid)
 
 
 class BlockExecutor:

@@ -21,23 +21,35 @@ a group joins round n.  On Pascal the rendezvous is bypassed entirely — the
 instruction costs one cycle, commits the thread's pending shared-memory
 writes (a fence, per Section VII-C) and does not wait.
 
-Converged-warp fast path
-------------------------
+Converged-warp fast path and re-convergence
+-------------------------------------------
 Real SIMT hardware issues one instruction for all 32 lanes of a converged
 warp; simulating 32 engine processes for that case multiplies every event
 by the warp width for no modelling benefit.  When ``simt_fast_path`` is on
-(the default) the executor drives the whole warp as *one* engine process
-that steps every thread's program generator in lockstep.  As long as each
-round's instructions are uniform (same instruction class, identical
-analytic latency) the round costs a single ``Timeout`` and the per-thread
-effects (shared-memory traffic, clock reads) are applied in tid order at
-the same engine time the thread-precise simulation would use.  The first
-round that is *not* uniform-analytic — a :class:`Diverge`, a blocking
-(Volta) warp barrier, a shuffle, or ``__syncthreads`` — permanently hands
-each thread over to its own engine process, pending instruction included,
-so rendezvous arrival order, issue-port serialization and Pascal shuffle
-staleness are bit-identical to thread-precise mode (see
-``tests/sim/test_exec_thread.py``'s property test).
+(the default) the executor drives the whole warp as *one* engine process —
+a mode-switching warp scheduler — that steps every thread's program
+generator in lockstep.  As long as each round's instructions are uniform
+(same instruction class, identical analytic latency) the round costs a
+single ``Timeout`` and the per-thread effects (shared-memory traffic,
+clock reads) are applied in tid order at the same engine time the
+thread-precise simulation would use.
+
+Rendezvous instructions no longer end the fast path.  A round where every
+live lane executes the *same* barrier — ``__syncthreads``, a blocking
+(Volta) warp sync whose groups are fully covered by the live lanes, or a
+shuffle — is executed converged: all arrivals are performed in tid order
+now, the scheduler waits on the release once, and the per-lane resume
+values are delivered at the release time the thread-precise simulation
+would use.  Only a genuinely *non-uniform* round (a :class:`Diverge`
+staircase, per-lane latencies, mixed instruction classes) drops the warp
+to thread-precise mode: each lane becomes its own engine process, pending
+instruction included, so rendezvous arrival order, issue-port
+serialization and Pascal shuffle staleness stay bit-identical.  The
+lanes then *re-fuse* at the next reconvergence rendezvous — the join
+that follows a divergent region — as soon as every live lane is blocked
+on one release signal and therefore resumes at one common timestamp
+(see ``docs/engine.md`` for the protocol and
+``tests/sim/test_exec_thread.py`` for the equivalence property tests).
 """
 
 from __future__ import annotations
@@ -50,10 +62,14 @@ import numpy as np
 from repro.cudasim import instructions as ins
 from repro.sim.arch import GPUSpec
 from repro.sim.clock import SMClock
-from repro.sim.engine import Engine, Resource, Signal, SimulationError, Timeout
+from repro.sim.engine import Engine, Resource, Signal, SimulationError, Timeout, WakeAt
 from repro.sim.memory import SharedMemory
 
 __all__ = ["ThreadCtx", "WarpExecutor", "WarpRunResult", "UnsupportedInstruction"]
+
+#: Sentinel marking a lane whose program generator finished inside a
+#: staggered (virtual) divergence region.
+_RETIRED = object()
 
 
 class UnsupportedInstruction(SimulationError):
@@ -92,9 +108,81 @@ class _GroupBoard:
         return rnd
 
 
+class _TPRegion:
+    """Bookkeeping for one thread-precise excursion of a warp.
+
+    Created by the warp scheduler when it de-fuses; shared by the region's
+    lane processes.  Tracks which lanes are still live, which are blocked
+    on a rendezvous release, and which have *parked* — completed a
+    rendezvous and handed their generator back to the scheduler.  The
+    region ends by firing :attr:`signal` exactly once, with ``"refuse"``
+    (every surviving lane parked on one release — the scheduler re-fuses
+    them at the common resume timestamp) or ``"done"`` (every lane
+    retired).  The invariant that makes parking safe: a lane parks only
+    when every other live lane is blocked on (or already parked at) the
+    *same* release signal, so all of them provably resume at one engine
+    timestamp and the converged lockstep can restart bit-identically.
+
+    All state is plain dict/set bookkeeping inside the lanes' existing
+    events — no extra engine events beyond the single region signal, per
+    the allocation discipline in ``docs/engine.md``.
+    """
+
+    __slots__ = ("live", "waiting", "parked", "signal")
+
+    def __init__(self, executor: "WarpExecutor", lanes: List[int]):
+        self.live = set(lanes)
+        self.waiting: Dict[int, Signal] = {}
+        self.parked: Dict[int, Tuple[Any, Any]] = {}
+        self.signal = Signal(
+            executor.engine, name=f"warp@{executor.tid_offset}.refuse"
+        )
+
+    def can_park(self, lane: int, release: Signal) -> bool:
+        """Whether ``lane``, just woken by ``release``, may park there."""
+        waiting = self.waiting
+        parked = self.parked
+        for j in self.live:
+            if j == lane or j in parked:
+                # Parked lanes are on this same release: the first parker
+                # required every live lane to be waiting on it.
+                continue
+            if waiting.get(j) is not release:
+                return False
+        return True
+
+    def park(self, lane: int, op: Any, value: Any) -> None:
+        self.parked[lane] = (op, value)
+        del self.waiting[lane]
+        if len(self.parked) == len(self.live):
+            self.signal.fire("refuse")
+
+    def retire(self, lane: int) -> None:
+        self.live.discard(lane)
+        self.waiting.pop(lane, None)
+        if not self.live:
+            self.signal.fire("done")
+
+
 @dataclass
 class WarpRunResult:
-    """Outcome of one warp-level simulation run."""
+    """Outcome of one warp-level simulation run.
+
+    The three mode counters describe the SIMT fast path's behaviour (all
+    zero when the fast path is disabled; summed across warps when several
+    warps share one result under a
+    :class:`~repro.sim.exec_block.BlockExecutor`):
+
+    ``fused_rounds``
+        Rounds executed in converged mode — one ``Timeout`` (or one
+        rendezvous wait) standing in for every live lane.
+    ``defuse_count``
+        Transitions from converged to thread-precise mode (one per
+        non-uniform region entered).
+    ``refuse_count``
+        Re-convergence transitions: thread-precise lanes re-fused into a
+        converged warp at a rendezvous release.
+    """
 
     duration_ns: float
     duration_cycles: float
@@ -104,6 +192,9 @@ class WarpRunResult:
     returns: Dict[int, Any]
     shared: SharedMemory
     shuffle_incorrect: bool
+    fused_rounds: int = 0
+    defuse_count: int = 0
+    refuse_count: int = 0
 
     def record_series(self, key: str) -> List[Any]:
         """Collect ``records[tid][key]`` across threads, ordered by tid."""
@@ -182,6 +273,7 @@ class WarpExecutor:
         self.issue_port = Resource(self.engine, capacity=1, name="warp-issue")
         self._boards: Dict[Tuple, _GroupBoard] = {}
         self._round_counters: Dict[Tuple[int, Tuple], int] = {}
+        self._members_memo: Dict[Tuple, Tuple[int, ...]] = {}
         self.shuffle_incorrect = False
 
     # -- group management --------------------------------------------------
@@ -199,15 +291,25 @@ class WarpExecutor:
         a correct program only syncs lanes that will actually arrive, which
         is why partial *warp* syncs do not deadlock in the paper's
         Section VIII-B matrix (unlike partial grid/multi-grid syncs).
+
+        Memoized per ``(tid, kind, group_size, mask)``: membership is pure
+        in those and in the executor's fixed ``nthreads``, and sync-loop
+        programs resolve the same groups every round.
         """
+        key = (tid, kind, group_size, mask)
+        members = self._members_memo.get(key)
+        if members is not None:
+            return members
         if kind == "tile":
             base = (tid // group_size) * group_size
             lanes = range(base, base + group_size)
         else:  # coalesced: all mask-selected live threads form one group
             lanes = range(self.nthreads)
-        return tuple(
+        members = tuple(
             l for l in lanes if l < self.nthreads and (mask >> l) & 1
         )
+        self._members_memo[key] = members
+        return members
 
     def _board(self, key: Tuple, members: Tuple[int, ...]) -> _GroupBoard:
         board = self._boards.get(key)
@@ -254,15 +356,17 @@ class WarpExecutor:
         if latency_cycles > 0:
             yield Timeout(self.spec.cycles_to_ns(latency_cycles))
 
-    def _exec_warp_sync(self, tid: int, op: ins.WarpSync) -> Generator:
+    def _warp_sync_arrive(self, tid: int, op: ins.WarpSync) -> Signal:
+        """Arrival half of a blocking (Volta) warp sync.
+
+        Performs the round's bookkeeping now — the last member commits
+        shared memory and schedules the release — and returns the release
+        signal the caller must wait on.  Split from the blocking yield so
+        both a thread-precise lane and the converged warp scheduler run
+        the exact same arrival sequence.
+        """
         members = self._group_members(tid, op.kind, op.group_size, op.mask)
         latency = self._sync_latency_cycles(op.kind, len(members))
-        if not self.spec.warp_sync.blocking:
-            # Pascal: fence semantics only (Section VIII-A / VII-C).
-            # Pending writes are keyed by the block-global tid.
-            self.shared.commit_thread(self.tid_offset + tid)
-            yield from self._exec_simple(latency)
-            return
         key = ("sync", op.kind, members)
         board = self._board(key, members)
         rnd = board.round(self._next_round(tid, key))
@@ -271,21 +375,48 @@ class WarpExecutor:
         if rnd.arrived == rnd.expected:
             self.shared.commit()
             self.engine.schedule_fire(self.spec.cycles_to_ns(latency), rnd.release)
-        yield rnd.release
+        return rnd.release
 
-    def _exec_shuffle(self, tid: int, op: ins.ShuffleDown) -> Generator:
+    def _exec_warp_sync(self, tid: int, op: ins.WarpSync) -> Generator:
+        if not self.spec.warp_sync.blocking:
+            # Pascal: fence semantics only (Section VIII-A / VII-C).
+            # Pending writes are keyed by the block-global tid.
+            members = self._group_members(tid, op.kind, op.group_size, op.mask)
+            latency = self._sync_latency_cycles(op.kind, len(members))
+            self.shared.commit_thread(self.tid_offset + tid)
+            yield from self._exec_simple(latency)
+            return
+        yield self._warp_sync_arrive(tid, op)
+
+    def _shuffle_arrive(
+        self, tid: int, op: ins.ShuffleDown
+    ) -> Tuple[Optional[Signal], Callable[[], Any]]:
+        """Arrival half of a shuffle: post the value, count the arrival.
+
+        Returns ``(release, finish)``: on Volta ``release`` is the group's
+        rendezvous signal (the last arrival schedules its fire); on Pascal
+        it is ``None`` and the caller pays the non-blocking latency
+        itself.  ``finish()`` performs the post-latency read — including
+        the Pascal stale-read semantics when the partner has not posted
+        this round.
+        """
         members = self._group_members(tid, op.kind, op.width)
         latency = self._shuffle_latency_cycles(op.kind)
         key = ("shfl", op.kind, members)
         board = self._board(key, members)
-        idx = self._next_round(tid, key)
-        rnd = board.round(idx)
+        rnd = board.round(self._next_round(tid, key))
         rnd.posted[tid] = op.value
         board.history[tid] = op.value
         rnd.arrived += 1
-
         src = tid + op.delta
-        in_range = src in members
+
+        def finish() -> Any:
+            if src not in members:
+                return op.value
+            if src in rnd.posted:
+                return rnd.posted[src]
+            self.shuffle_incorrect = True
+            return board.history.get(src, 0.0)
 
         if self.spec.warp_sync.blocking:
             # Volta: shuffle implies synchronization of the group.
@@ -293,27 +424,28 @@ class WarpExecutor:
                 self.engine.schedule_fire(
                     self.spec.cycles_to_ns(latency), rnd.release
                 )
-            yield rnd.release
-            value = rnd.posted[src] if in_range else op.value
-            return value
+            return rnd.release, finish
+        return None, finish
 
+    def _pascal_shuffle_latency_ns(self, op: ins.ShuffleDown) -> float:
+        latency = self._shuffle_latency_cycles(op.kind)
+        return self.spec.cycles_to_ns(max(0.0, latency - 1))
+
+    def _exec_shuffle(self, tid: int, op: ins.ShuffleDown) -> Generator:
+        release, finish = self._shuffle_arrive(tid, op)
+        if release is not None:
+            yield release
+            return finish()
         # Pascal: no blocking.  In converged code lanes post in lockstep so
         # the partner's value is already on the board; in divergent code the
         # read goes stale — the paper's "shuffle does not work correctly".
-        yield Timeout(self.spec.cycles_to_ns(max(0.0, latency - 1)))
-        if not in_range:
-            return op.value
-        if src in rnd.posted:
-            return rnd.posted[src]
-        self.shuffle_incorrect = True
-        return board.history.get(src, 0.0)
+        yield Timeout(self._pascal_shuffle_latency_ns(op))
+        return finish()
 
-    def _exec_block_sync(self, tid: int) -> Generator:
-        """``__syncthreads``: cross-warp when block-attached, warp-wide
-        otherwise.  Blocks on every architecture (unlike warp syncs)."""
+    def _block_sync_arrive(self, tid: int) -> Signal:
+        """Arrival half of ``__syncthreads``; returns the round's release."""
         if self.block_barrier is not None:
-            yield from self.block_barrier.arrive(self.tid_offset + tid)
-            return
+            return self.block_barrier.arrive_nowait(self.tid_offset + tid)
         from repro.sim.sm import block_sync_latency_cycles
 
         members = tuple(range(self.nthreads))
@@ -325,7 +457,12 @@ class WarpExecutor:
         if rnd.arrived == rnd.expected:
             self.shared.commit()
             self.engine.schedule_fire(self.spec.cycles_to_ns(latency), rnd.release)
-        yield rnd.release
+        return rnd.release
+
+    def _exec_block_sync(self, tid: int) -> Generator:
+        """``__syncthreads``: cross-warp when block-attached, warp-wide
+        otherwise.  Blocks on every architecture (unlike warp syncs)."""
+        yield self._block_sync_arrive(tid)
 
     def _interpret(self, tid: int, op: ins.Instruction) -> Generator:
         """Dispatch one instruction; yields engine yieldables, returns value."""
@@ -433,24 +570,363 @@ class WarpExecutor:
         result.end_ns[gtid] = self.engine.now
         result.records[gtid] = ctx.records
 
+    # -- converged rendezvous rounds -------------------------------------------
+
+    #: Fields that make two rendezvous instructions "the same barrier";
+    #: shared by the converged-round and virtual-terminator uniformity
+    #: checks so the two modes can never drift apart.
+    _RENDEZVOUS_FIELDS = {
+        ins.BlockSync: (),
+        ins.WarpSync: ("kind", "group_size", "mask"),
+        ins.ShuffleDown: ("kind", "width", "delta"),
+    }
+
+    @classmethod
+    def _ops_uniform(cls, live: List[int], ops) -> bool:
+        """Whether every live lane's next op is the same rendezvous
+        instruction (same class, same identity fields; per-lane payloads
+        like a shuffle's ``value`` may differ)."""
+        op0 = ops[live[0]]
+        fields = cls._RENDEZVOUS_FIELDS.get(op0.__class__)
+        if fields is None:
+            return False
+        for i in live[1:]:
+            op = ops[i]
+            if op.__class__ is not op0.__class__:
+                return False
+            for f in fields:
+                if getattr(op, f) != getattr(op0, f):
+                    return False
+        return True
+
+    def _try_converged_rendezvous(
+        self, live: List[int], ops: List[Any]
+    ) -> Optional[Tuple[Any, Optional[Dict[int, Callable[[], Any]]]]]:
+        """Execute a uniform rendezvous round without leaving converged mode.
+
+        When every live lane's next instruction is the *same* rendezvous —
+        ``__syncthreads``, a blocking (Volta) warp sync whose groups are
+        fully covered by the live lanes, or a shuffle — all arrivals are
+        performed now, in tid order (exactly the sequence thread-precise
+        lanes dispatched at this timestamp would produce), and the round
+        reduces to one wait.  Returns ``(waitable, finishes)`` — the
+        scheduler yields ``waitable`` and then calls ``finishes[i]()`` for
+        each lane's resume value — or ``None`` when the round is not a
+        convergable rendezvous (the scheduler then de-fuses).
+        """
+        if not self._ops_uniform(live, ops):
+            return None
+        op0 = ops[live[0]]
+        cls = op0.__class__
+        if cls is ins.BlockSync:
+            release = None
+            for i in live:
+                release = self._block_sync_arrive(i)
+            return release, None
+        blocking = self.spec.warp_sync.blocking
+        if cls is ins.WarpSync and blocking:
+            # Every group must be completed by this round's arrivals —
+            # a mask selecting absent (retired or straggling) lanes, or a
+            # lane excluded from its own group, cannot release now and
+            # takes the thread-precise path instead.
+            live_set = set(live)
+            for i in live:
+                members = self._group_members(i, op0.kind, op0.group_size, op0.mask)
+                if i not in members or not set(members) <= live_set:
+                    return None
+            release = None
+            for i in live:
+                sig = self._warp_sync_arrive(i, ops[i])
+                if release is None:
+                    release = sig
+            # Tile partitions release as separate signals, but every group
+            # schedules the same (size-independent tile) latency from the
+            # same timestamp, so one wait stands in for all of them.
+            return release, None
+        if cls is ins.ShuffleDown:
+            live_set = set(live)
+            for i in live:
+                members = self._group_members(i, op0.kind, op0.width)
+                if i not in members or not set(members) <= live_set:
+                    return None
+            release = None
+            finishes: Dict[int, Callable[[], Any]] = {}
+            for i in live:
+                sig, finishes[i] = self._shuffle_arrive(i, ops[i])
+                if release is None:
+                    release = sig
+            if release is None:  # Pascal: non-blocking, pure latency
+                release = Timeout(self._pascal_shuffle_latency_ns(op0))
+            return release, finishes
+        return None
+
+    # -- staggered (virtual) divergence regions --------------------------------
+
+    def _virtual_latency_ns(self, op: Any) -> Optional[float]:
+        """Latency of ``op`` if it is *pure* — a Timeout with no engine-
+        visible effect at any per-lane timestamp — else ``None``.
+
+        Stricter than :meth:`_fast_latency_ns`: clock reads, shared-memory
+        accesses and the Pascal warp-sync fence all act at the lane's own
+        (staggered) time and therefore need a real engine event.
+        """
+        spec = self.spec
+        ic = spec.instructions
+        cls = op.__class__
+        if cls is ins.Compute:
+            cycles = op.cycles
+        elif cls is ins.FAdd:
+            cycles = ic.fadd * op.count
+        elif cls is ins.DAdd:
+            cycles = ic.dadd * op.count
+        elif cls is ins.ChainStep:
+            cycles = spec.shared_mem.chain_latency_cycles * op.count
+        elif cls is ins.MethodOverhead:
+            cycles = op.cycles
+        elif cls is ins.Nanosleep:
+            if not spec.has_nanosleep:
+                raise UnsupportedInstruction(
+                    f"nanosleep is not available on {spec.name} "
+                    "(Volta-only instruction, Section IX-B)"
+                )
+            return op.ns
+        else:
+            return None
+        return spec.cycles_to_ns(cycles)
+
+    def _replay(self, log: List[Tuple[str, float]]) -> Generator:
+        """Re-materialize a lane's virtually-consumed ops as real events.
+
+        Produces exactly the yield sequence the thread-precise interpreter
+        would have produced for the logged ops — issue-port serialization
+        included — so an aborted virtual region costs what thread-precise
+        execution always cost, and timing stays bit-identical.  Log
+        entries carry their unit in the tag: ``("issue_cycles", hold)``
+        replays a divergent-arm issue-port hold (cycles, what
+        :meth:`_issue` takes), ``("timeout_ns", lat)`` a pure latency.
+        """
+        for kind, amount in log:
+            if kind == "issue_cycles":
+                yield from self._issue(amount)
+            elif amount > 0.0:
+                yield Timeout(amount)
+
+    def _replay_retire(
+        self,
+        lane: int,
+        prelude: Generator,
+        ctx: ThreadCtx,
+        value: Any,
+        result: WarpRunResult,
+        region: "_TPRegion",
+    ) -> Generator:
+        """Replay a lane whose program already ended, then retire it."""
+        yield from prelude
+        self._retire_fast(ctx, value, result)
+        region.retire(lane)
+        return value
+
+    def _virtual_divergence(
+        self,
+        live: List[int],
+        ops: List[Any],
+        gens: List[Generator],
+        ctxs: List[ThreadCtx],
+        result: WarpRunResult,
+    ) -> Generator:
+        """Run a uniform-``Diverge`` region analytically, re-fusing at the join.
+
+        Entered when every live lane's next instruction is a
+        :class:`~repro.cudasim.instructions.Diverge`.  The serialized
+        staircase is computed lane-locally (the issue port is free and the
+        live lanes are its only contenders, so grants happen in lockstep
+        order and exit times accumulate ``t = t + hold`` — the same float
+        additions the per-event simulation performs).  Each lane then runs
+        ahead through *pure-latency* instructions, accumulating its own
+        virtual clock with zero engine events, until it reaches a
+        reconvergence rendezvous.  If every lane lands on the same
+        rendezvous round, the scheduler wakes at the last lane's
+        (bit-exact, via :class:`~repro.sim.engine.WakeAt`) arrival time,
+        performs the arrivals in arrival-time order, waits on the release
+        once, and returns ``("fused", order, pending, values)`` — the warp
+        is converged again.  Anything else — a value-producing or
+        memory-touching instruction, a retiring lane, mismatched
+        rendezvous, nested divergence, or an exact arrival-time tie whose
+        thread-precise ordering depends on event sequence numbers — aborts
+        into ``("defused", region)``: every lane is spawned as a process
+        whose prelude *replays* the consumed ops event-for-event, so abort
+        costs thread-precise speed but never correctness.
+        """
+        engine = self.engine
+        spec = self.spec
+        arm_cycles = spec.instructions.divergent_arm_cycles
+        t: Dict[int, float] = {}
+        logs: Dict[int, List[Tuple[str, float]]] = {}
+        port_time = engine.now
+        for i in live:
+            hold_cycles = arm_cycles * ops[i].arms
+            logs[i] = [("issue_cycles", hold_cycles)]
+            port_time = port_time + spec.cycles_to_ns(hold_cycles)
+            t[i] = port_time
+        pend: Dict[int, Any] = {}
+        retired_vals: Dict[int, Any] = {}
+        for i in live:
+            ti = t[i]
+            gen = gens[i]
+            log = logs[i]
+            while True:
+                try:
+                    nxt = gen.send(None)
+                except StopIteration as stop:
+                    pend[i] = _RETIRED
+                    retired_vals[i] = stop.value
+                    break
+                lat = self._virtual_latency_ns(nxt)
+                if lat is None:
+                    pend[i] = nxt
+                    break
+                log.append(("timeout_ns", lat))
+                ti = ti + lat
+            t[i] = ti
+
+        plan = self._virtual_terminator(live, pend, t)
+        if plan is None:
+            region = _TPRegion(self, live)
+            off = self.tid_offset
+            for i in live:
+                prelude = self._replay(logs[i])
+                if pend[i] is _RETIRED:
+                    proc = self._replay_retire(
+                        i, prelude, ctxs[i], retired_vals[i], result, region
+                    )
+                else:
+                    proc = self._lane_proc(
+                        i, gens[i], pend[i], None, ctxs[i], result, region,
+                        prelude=prelude,
+                    )
+                engine.process(proc, name=f"t{off + i}")
+            return ("defused", region)
+
+        # Re-fuse at the join: land on the last arrival's exact timestamp,
+        # arrive in arrival-time order, wait out the release once.
+        order = plan
+        max_t = t[order[-1]]
+        if max_t > engine.now:
+            yield WakeAt(max_t)
+        op0 = pend[order[0]]
+        cls = op0.__class__
+        finishes: Optional[Dict[int, Callable[[], Any]]] = None
+        release: Any = None
+        if cls is ins.BlockSync:
+            for i in order:
+                release = self._block_sync_arrive(i)
+        elif cls is ins.WarpSync:
+            for i in order:
+                sig = self._warp_sync_arrive(i, pend[i])
+                if release is None:
+                    release = sig
+        else:  # ShuffleDown
+            finishes = {}
+            for i in order:
+                sig, finishes[i] = self._shuffle_arrive(i, pend[i])
+                if release is None:
+                    release = sig
+        yield release
+        vals = {
+            i: (finishes[i]() if finishes is not None else None) for i in order
+        }
+        return ("fused", order, pend, vals)
+
+    def _virtual_terminator(
+        self,
+        live: List[int],
+        pend: Dict[int, Any],
+        t: Dict[int, float],
+    ) -> Optional[List[int]]:
+        """Validate a virtual region's ending and return the arrival order.
+
+        Returns the live lanes sorted by arrival time when every lane
+        pends on the *same* rendezvous round releasing through one signal
+        (``__syncthreads``; a blocking full-single-group warp sync or
+        shuffle), with all arrival times distinct — or ``None`` to force
+        the replay abort.
+        """
+        op0 = pend[live[0]]
+        if op0 is _RETIRED or any(pend[i] is _RETIRED for i in live):
+            return None
+        if not self._ops_uniform(live, pend):
+            return None
+        cls = op0.__class__
+        if cls is ins.BlockSync:
+            if self.block_barrier is not None:
+                off = self.tid_offset
+                counters = self.block_barrier._counters
+                idx0 = counters.get(off + live[0], 0)
+                if any(counters.get(off + i, 0) != idx0 for i in live[1:]):
+                    return None
+            else:
+                key = ("blocksync", tuple(range(self.nthreads)))
+                idx0 = self._round_counters.get((live[0], key), 0)
+                if any(
+                    self._round_counters.get((i, key), 0) != idx0
+                    for i in live[1:]
+                ):
+                    return None
+        elif cls is ins.WarpSync and self.spec.warp_sync.blocking:
+            members = self._group_members(
+                live[0], op0.kind, op0.group_size, op0.mask
+            )
+            if set(members) != set(live):
+                return None
+            key = ("sync", op0.kind, members)
+            idx0 = self._round_counters.get((live[0], key), 0)
+            if any(
+                self._round_counters.get((i, key), 0) != idx0 for i in live[1:]
+            ):
+                return None
+        elif cls is ins.ShuffleDown and self.spec.warp_sync.blocking:
+            members = self._group_members(live[0], op0.kind, op0.width)
+            if set(members) != set(live):
+                return None
+            key = ("shfl", op0.kind, members)
+            idx0 = self._round_counters.get((live[0], key), 0)
+            if any(
+                self._round_counters.get((i, key), 0) != idx0 for i in live[1:]
+            ):
+                return None
+        else:
+            return None
+        # Arrival-time order; exact ties would need event-sequence-number
+        # ordering the virtual clocks cannot reconstruct, so ties abort.
+        order = sorted(live, key=t.__getitem__)
+        for a, b in zip(order, order[1:]):
+            if t[a] == t[b]:
+                return None
+        return order
+
     def _fast_warp_proc(
         self,
         program: Callable[[ThreadCtx], Generator],
         result: WarpRunResult,
     ) -> Generator:
-        """Drive the whole warp as one process while it stays converged.
+        """Mode-switching warp scheduler: converged rounds, thread-precise
+        excursions, re-convergence at rendezvous releases.
 
-        Each round replays, per live thread *in tid order*, exactly what a
-        thread-precise step event does at this timestamp: apply the
-        post-latency effect of the instruction that just completed (clock
-        read, shared-memory access), advance the program generator, and
-        apply the next instruction's dispatch-time effect (the Pascal
-        warp-sync fence commit).  If every live thread's next instruction
-        is analytic with one common latency, the round then costs a single
-        ``Timeout`` instead of ``nthreads`` heap events.  The first round
-        that is not uniform-analytic spawns one engine process per thread
-        (pending instruction included) and the warp continues
-        thread-precise forever.
+        Each converged round replays, per live thread *in tid order*,
+        exactly what a thread-precise step event does at this timestamp:
+        apply the post-latency effect of the instruction that just
+        completed (clock read, shared-memory access), advance the program
+        generator, and apply the next instruction's dispatch-time effect
+        (the Pascal warp-sync fence commit).  If every live thread's next
+        instruction is analytic with one common latency, the round costs a
+        single ``Timeout`` instead of ``nthreads`` heap events; a uniform
+        rendezvous round costs the arrivals plus one wait
+        (:meth:`_try_converged_rendezvous`).  A non-uniform round spawns
+        one engine process per lane (pending instruction included) and the
+        scheduler blocks on the region's signal until the lanes either all
+        retire or all park at one rendezvous release — at which point they
+        are re-fused into the converged loop with their pending resume
+        values.
         """
         engine = self.engine
         shared = self.shared
@@ -463,30 +939,38 @@ class WarpExecutor:
             result.start_ns[ctx.tid] = now
             gens.append(program(ctx))
         ops: List[Any] = [None] * n
+        vals: List[Any] = [None] * n
+        has_val: List[bool] = [False] * n
         lat_ns: List[Optional[float]] = [0.0] * n
         pre_done: List[bool] = [False] * n
         live = list(range(n))
         while live:
             survivors = []
             for i in live:
-                op = ops[i]
                 # Post-latency effect of the instruction completed last
                 # round (the thread-precise interpreter applies it after
                 # its Timeout, inside the same step event that fetches and
-                # dispatches the next instruction).
-                if op is None:
-                    value: Any = None
+                # dispatches the next instruction).  Rendezvous rounds and
+                # re-fused lanes deliver a precomputed value instead.
+                if has_val[i]:
+                    value: Any = vals[i]
+                    has_val[i] = False
+                    vals[i] = None
                 else:
-                    cls = op.__class__
-                    if cls is ins.ReadClock:
-                        value = self.clock.read()
-                    elif cls is ins.SharedLoad:
-                        value = shared.load(off + i, op.slot, volatile=op.volatile)
-                    elif cls is ins.SharedStore:
-                        shared.store(off + i, op.slot, op.value, volatile=op.volatile)
+                    op = ops[i]
+                    if op is None:
                         value = None
                     else:
-                        value = None
+                        cls = op.__class__
+                        if cls is ins.ReadClock:
+                            value = self.clock.read()
+                        elif cls is ins.SharedLoad:
+                            value = shared.load(off + i, op.slot, volatile=op.volatile)
+                        elif cls is ins.SharedStore:
+                            shared.store(off + i, op.slot, op.value, volatile=op.volatile)
+                            value = None
+                        else:
+                            value = None
                 try:
                     nxt = gens[i].send(value)
                 except StopIteration as stop:
@@ -514,10 +998,45 @@ class WarpExecutor:
                     if lat_ns[i] != latency:
                         uniform = False
                         break
-            if not uniform:
-                # Divergence (or a rendezvous instruction): hand every
-                # thread to its own process, in tid order so rendezvous
-                # arrivals and issue-port grants match thread-precise mode.
+            if uniform:
+                result.fused_rounds += 1
+                if latency > 0.0:
+                    yield Timeout(latency)
+                continue
+            plan = self._try_converged_rendezvous(live, ops)
+            if plan is not None:
+                waitable, finishes = plan
+                result.fused_rounds += 1
+                yield waitable
+                for i in live:
+                    vals[i] = finishes[i]() if finishes is not None else None
+                    has_val[i] = True
+                continue
+            if all(ops[i].__class__ is ins.Diverge for i in live):
+                # Uniform divergence ladder: run the region on per-lane
+                # virtual clocks and re-fuse at the join when possible.
+                res = yield from self._virtual_divergence(
+                    live, ops, gens, ctxs, result
+                )
+                if res[0] == "fused":
+                    _, order, pendmap, valmap = res
+                    result.fused_rounds += 1
+                    result.refuse_count += 1
+                    live = order
+                    for i in live:
+                        ops[i] = pendmap[i]
+                        vals[i] = valmap[i]
+                        has_val[i] = True
+                        pre_done[i] = False
+                    continue
+                region = res[1]
+                result.defuse_count += 1
+            else:
+                # Genuinely non-uniform: hand every thread to its own
+                # process, in lockstep order so rendezvous arrivals and
+                # issue-port grants match thread-precise mode.
+                result.defuse_count += 1
+                region = _TPRegion(self, live)
                 for i in live:
                     op = ops[i]
                     if pre_done[i]:
@@ -530,38 +1049,106 @@ class WarpExecutor:
                             self._sync_latency_cycles(op.kind, len(members))
                         )
                     else:
-                        first = self._interpret(i, op)
+                        first = None
                     engine.process(
-                        self._resume_thread(i, gens[i], first, ctxs[i], result),
+                        self._lane_proc(
+                            i, gens[i], op, first, ctxs[i], result, region
+                        ),
                         name=f"t{off + i}",
                     )
+            outcome = yield region.signal
+            if outcome == "done":
                 return
-            if latency > 0.0:
-                yield Timeout(latency)
+            # Re-fuse: every surviving lane parked at one rendezvous
+            # release, so they all resume here, at one common timestamp,
+            # with their pending values.  The lockstep order from now on
+            # is the *park* order — the order the release woke the lanes
+            # (their barrier-arrival order), which is exactly the order
+            # thread-precise processes would keep resuming in at every
+            # subsequent equal-time instant (FIFO-at-equal-time), so
+            # issue-port grants and shared-memory effect order stay
+            # bit-identical after re-convergence.
+            result.refuse_count += 1
+            live = list(region.parked)
+            for i in live:
+                ops[i], vals[i] = region.parked[i]
+                has_val[i] = True
+                pre_done[i] = False
 
-    def _resume_thread(
+    def _rendezvous_arrive(
+        self, tid: int, op: Any
+    ) -> Optional[Tuple[Signal, Optional[Callable[[], Any]]]]:
+        """Split arrival for a *blocking* rendezvous instruction.
+
+        Returns ``(release, finish)`` for instructions whose wait is a
+        plain release-signal yield (``__syncthreads`` everywhere; warp
+        syncs and shuffles on blocking architectures), or ``None`` when
+        ``op`` is not such an instruction.  Thread-precise lanes route
+        rendezvous waits through this so the warp scheduler can observe
+        who is blocked where and re-fuse the warp at the release.
+        """
+        cls = op.__class__
+        if cls is ins.BlockSync:
+            return self._block_sync_arrive(tid), None
+        if not self.spec.warp_sync.blocking:
+            return None
+        if cls is ins.WarpSync:
+            return self._warp_sync_arrive(tid, op), None
+        if cls is ins.ShuffleDown:
+            release, finish = self._shuffle_arrive(tid, op)
+            return release, finish
+        return None
+
+    def _lane_proc(
         self,
         tid_local: int,
         gen: Generator,
-        first_interp: Generator,
+        op: Any,
+        first_interp: Optional[Generator],
         ctx: ThreadCtx,
         result: WarpRunResult,
+        region: "_TPRegion",
+        prelude: Optional[Generator] = None,
     ) -> Generator:
-        """Thread-precise continuation of one lane after fast-path fallback.
+        """Thread-precise excursion of one lane after a de-fuse.
 
-        ``first_interp`` is the (possibly partially applied) interpretation
-        of the instruction that triggered the fallback.
+        Executes instructions exactly as :meth:`_thread_proc` does, but
+        rendezvous waits go through the split arrive/wait path so the lane
+        can *park* — hand its generator back to the warp scheduler — when
+        every live lane of the region is blocked on the same release and
+        will therefore resume at the same timestamp.  ``first_interp``
+        carries the partially-applied interpretation of a pending Pascal
+        warp sync whose fence the converged round already committed;
+        ``prelude`` replays an aborted virtual region's consumed ops
+        before ``op`` runs.
         """
         gtid = ctx.tid
         try:
-            value = yield from first_interp
+            if prelude is not None:
+                yield from prelude
             while True:
+                if first_interp is not None:
+                    value = yield from first_interp
+                    first_interp = None
+                else:
+                    arrive = self._rendezvous_arrive(tid_local, op)
+                    if arrive is None:
+                        value = yield from self._interpret(tid_local, op)
+                    else:
+                        release, finish = arrive
+                        region.waiting[tid_local] = release
+                        yield release
+                        value = finish() if finish is not None else None
+                        if region.can_park(tid_local, release):
+                            region.park(tid_local, op, value)
+                            return
+                        del region.waiting[tid_local]
                 op = gen.send(value)
-                value = yield from self._interpret(tid_local, op)
         except StopIteration as stop:
             result.returns[gtid] = stop.value
         result.end_ns[gtid] = self.engine.now
         result.records[gtid] = ctx.records
+        region.retire(tid_local)
         return result.returns.get(gtid)
 
     # -- running --------------------------------------------------------------

@@ -34,8 +34,20 @@ __all__ = [
     "HBM",
     "DeviceBuffer",
     "MemoryChannel",
+    "MAX_WORKLOAD_UTIL",
     "RaceRecord",
 ]
+
+#: Capacity floor of a :class:`MemoryChannel`: workload traffic may consume
+#: at most this fraction of the channel, leaving ``1 - MAX_WORKLOAD_UTIL``
+#: of residual capacity for the spin-poll flag reads.  The detection-lag
+#: model scales as ``1 / (1 - workload_util)``, so utilizations approaching
+#: 1 produce arbitrarily large, physically meaningless lags (a channel
+#: 99.9% busy with workload traffic is not a barrier-contention regime —
+#: it is a saturated link the analytic M/D/1-style aggregate no longer
+#: describes).  Rather than silently returning absurd numbers, utilization
+#: above the floor is rejected loudly at injection time.
+MAX_WORKLOAD_UTIL = 0.95
 
 
 @dataclass(frozen=True)
@@ -203,9 +215,23 @@ class MemoryChannel:
         self.detections = 0
 
     def inject_workload(self, util: float) -> None:
-        """Set the fraction of channel capacity consumed by workload traffic."""
-        if not (0.0 <= util < 1.0):
-            raise ValueError(f"workload_util must be in [0, 1), got {util!r}")
+        """Set the fraction of channel capacity consumed by workload traffic.
+
+        Utilization is capped at :data:`MAX_WORKLOAD_UTIL`: the lag model
+        diverges as ``util -> 1``, so near-saturation values produce
+        nonsense (``0.999`` would stretch every flag read 1000x).  Both
+        violations raise ``ValueError`` naming the knob and the bound.
+        """
+        if not (0.0 <= util <= MAX_WORKLOAD_UTIL):
+            raise ValueError(
+                f"workload_util must be in [0, {MAX_WORKLOAD_UTIL}], got "
+                f"{util!r}: above the channel capacity floor the contention "
+                f"model's 1/(1-util) detection-lag stretch is physically "
+                f"meaningless (saturated link, not a barrier-contention "
+                f"regime) — lower the injected workload traffic (e.g. the "
+                f"extra.workload_util scenario knob) to "
+                f"{MAX_WORKLOAD_UTIL} or below"
+            )
         self.workload_util = float(util)
 
     def effective_poll_ns(self, n_pollers: int, poll_ns: float) -> float:

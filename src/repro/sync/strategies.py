@@ -204,7 +204,11 @@ class SoftwareAtomicBarrier(BarrierStrategy):
           capacity left over by workload traffic, the period is
           service-bound) plus one contention-stretched flag read round
           trip.  Monotone in ``expected`` and in the channel's
-          ``workload_util``.
+          ``workload_util`` — and bounded, because the channel rejects
+          utilizations above its documented capacity floor
+          (:data:`repro.sim.memory.MAX_WORKLOAD_UTIL`) where the
+          ``1/(1-util)`` stretch would diverge into physically
+          meaningless lags.
         """
         if self.channel is None:
             return self.poll_ns * 0.5 + self.flag_rtt_ns

@@ -1,0 +1,102 @@
+"""CLI failure-path regression tests: partial results must always land.
+
+``repro-experiments --json`` feeds CI (the JSON artifact is uploaded
+*especially* when the smoke step fails), so the contract pinned here is:
+whenever a driver failure or a tolerance breach sets exit code 1, the
+merged report — with every successful point's rows — is still written to
+stdout as valid JSON, and diagnostics go to stderr only.  This is the
+``keep partial results on failure`` path promised by
+:func:`repro.experiments.runner.merge_experiment`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.cli import main
+from repro.experiments.registry import EXPERIMENTS
+
+
+def _patch_driver(monkeypatch, exp_id, driver):
+    monkeypatch.setitem(
+        registry.EXPERIMENTS, exp_id, replace(EXPERIMENTS[exp_id], driver=driver)
+    )
+
+
+@pytest.fixture
+def flaky_table5(monkeypatch):
+    """table5 whose P100 point fails while the V100 point succeeds."""
+    orig = EXPERIMENTS["table5"].driver
+
+    def driver(scenario):
+        if "P100" in scenario.gpus:
+            raise RuntimeError("injected-p100-failure")
+        return orig(scenario)
+
+    _patch_driver(monkeypatch, "table5", driver)
+
+
+class TestJsonPartialResults:
+    def test_driver_failure_still_writes_merged_json(self, flaky_table5, capsys):
+        assert main(["table5", "--json", "--no-cache"]) == 1
+        out, err = capsys.readouterr()
+        reports = json.loads(out)  # stdout must stay valid JSON
+        assert [r["exp_id"] for r in reports] == ["table5"]
+        # The merged report carries the surviving (V100) point's rows...
+        assert reports[0]["rows"], "partial results were dropped"
+        assert all("V100" in r["label"] for r in reports[0]["rows"])
+        # ...and the scenario provenance of the successful point only.
+        points = reports[0]["scenario"]["points"]
+        assert [p["gpus"] for p in points] == [["V100"]]
+        # Diagnostics stay on stderr, out of the JSON stream.
+        assert "injected-p100-failure" in err
+
+    def test_driver_failure_parallel_jobs(self, flaky_table5, capsys):
+        assert main(["table5", "--json", "--no-cache", "--jobs", "2"]) == 1
+        reports = json.loads(capsys.readouterr().out)
+        assert reports[0]["rows"]
+
+    def test_all_points_failing_writes_empty_array(self, monkeypatch, capsys):
+        def boom(scenario):
+            raise RuntimeError("boom")
+
+        _patch_driver(monkeypatch, "table5", boom)
+        assert main(["table5", "--json", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert json.loads(out) == []
+
+    def test_tolerance_breach_still_writes_json(self, monkeypatch, capsys):
+        monkeypatch.setitem(
+            registry.EXPERIMENTS,
+            "table4",
+            replace(EXPERIMENTS["table4"], tolerance=-1.0),
+        )
+        assert main(["table4", "--json", "--no-cache"]) == 1
+        out, err = capsys.readouterr()
+        reports = json.loads(out)
+        assert [r["exp_id"] for r in reports] == ["table4"]
+        assert reports[0]["rows"]
+        assert "exceeded tolerance" in err
+
+    def test_failure_alongside_healthy_experiment(self, flaky_table5, capsys):
+        # A failing experiment must not take its siblings' reports down.
+        assert main(["table5", "table4", "--json", "--no-cache"]) == 1
+        reports = json.loads(capsys.readouterr().out)
+        assert [r["exp_id"] for r in reports] == ["table5", "table4"]
+
+
+class TestCacheStoreFailure:
+    def test_unwritable_cache_dir_degrades_to_uncached(self, tmp_path, capsys):
+        # Regression: an OSError from the cache store used to abort the
+        # whole sweep (losing every result); it must degrade to a warning.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        bad_dir = blocker / "cache"
+        assert main(["table4", "--json", "--cache-dir", str(bad_dir)]) == 0
+        out, err = capsys.readouterr()
+        assert json.loads(out)[0]["exp_id"] == "table4"
+        assert "could not write result cache entry" in err

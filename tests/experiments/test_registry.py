@@ -47,7 +47,7 @@ class TestRegistry:
         expected = {
             "table1", "table2", "table3", "table4", "table5", "table6", "table8",
             "fig4", "fig5", "fig7", "fig8", "fig9", "fig15", "fig16", "fig18",
-            "deadlock", "validation", "sync_methods",
+            "deadlock", "validation", "sync_methods", "divergence",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -196,11 +196,11 @@ class TestTags:
         smoke = filter_by_tags(ids, ["smoke"])
         # CI's smoke subset, selected by tag instead of a name list.
         assert smoke == [
-            "table1", "fig8", "sync_methods", "table4", "table5", "deadlock",
-            "validation",
+            "table1", "fig8", "sync_methods", "table4", "table5", "divergence",
+            "deadlock", "validation",
         ]
         assert filter_by_tags(ids, ["warp", "block"]) == [
-            "table2", "fig4", "table5", "fig18"
+            "table2", "fig4", "table5", "fig18", "divergence"
         ]
 
     def test_unknown_tag_rejected(self):

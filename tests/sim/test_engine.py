@@ -665,6 +665,78 @@ class TestScheduleFire:
         eng.run()
 
 
+class TestWakeAt:
+    """Absolute-time wakeups: the SIMT fast path lands on lane-locally
+    accumulated rendezvous timestamps bit-exactly (a relative
+    ``Timeout(t - now)`` cannot guarantee ``now + (t - now) == t``)."""
+
+    def test_resumes_at_exact_absolute_time(self):
+        from repro.sim.engine import WakeAt
+
+        eng = Engine()
+        # A timestamp accumulated through repeated additions — the exact
+        # float the waker must land on, ulp for ulp.
+        t = 0.0
+        for delta in (1.524390243902439, 327.743902439024, 655.487804878048):
+            t = t + delta
+        seen = []
+
+        def proc():
+            yield WakeAt(t)
+            seen.append(eng.now)
+
+        eng.process(proc(), name="p")
+        eng.run()
+        assert seen == [t]  # bitwise: no Timeout rounding slip
+
+    def test_delivers_value(self):
+        from repro.sim.engine import WakeAt
+
+        eng = Engine()
+        got = []
+
+        def proc():
+            got.append((yield WakeAt(3.0, value="v")))
+
+        eng.process(proc(), name="p")
+        eng.run()
+        assert got == ["v"]
+
+    def test_past_time_rejected(self):
+        from repro.sim.engine import WakeAt
+
+        eng = Engine()
+
+        def proc():
+            yield Timeout(10.0)
+            yield WakeAt(5.0)  # now == 10: the past
+
+        eng.process(proc(), name="p")
+        with pytest.raises(SimulationError, match="in the past"):
+            eng.run()
+
+    def test_wake_at_now_runs_after_current_instant(self):
+        from repro.sim.engine import WakeAt
+
+        eng = Engine()
+        order = []
+
+        def sleeper():
+            yield WakeAt(0.0)
+            order.append("wake-at")
+
+        def ready():
+            order.append("ready")
+            yield Timeout(0.0)
+
+        eng.process(sleeper(), name="s")
+        eng.process(ready(), name="r")
+        eng.run()
+        # The WakeAt record carries a later sequence number than the
+        # already-queued ready events, so FIFO-at-equal-time holds.
+        assert order[0] == "ready"
+
+
 class TestProcessFailure:
     """A raising process must unblock its waiters with the real error
     instead of leaving them hanging (previously misreported as deadlock)."""

@@ -199,6 +199,77 @@ class TestBlockFastPathEquivalence:
         assert fast.duration_ns == slow.duration_ns
 
 
+class TestBlockReconvergence:
+    """Cross-warp re-convergence: every warp of a block must fuse through
+    barrier-delimited phases and re-fuse after its divergent regions, with
+    results bit-identical to forced thread-precise execution.  Counters
+    aggregate across the block's warps via the shared result."""
+
+    @staticmethod
+    def _compare(spec, program, nthreads=128):
+        fast = BlockExecutor(spec, nthreads=nthreads, simt_fast_path=True).run(
+            program
+        )
+        slow = BlockExecutor(spec, nthreads=nthreads, simt_fast_path=False).run(
+            program
+        )
+        assert fast.duration_ns == slow.duration_ns
+        assert fast.start_ns == slow.start_ns
+        assert fast.end_ns == slow.end_ns
+        assert fast.returns == slow.returns
+        assert fast.records == slow.records
+        assert list(fast.shared.committed) == list(slow.shared.committed)
+        assert fast.shared.races == slow.shared.races
+        return fast
+
+    def test_barrier_loop_never_defuses(self, spec):
+        def program(ctx):
+            for _ in range(4):
+                yield ins.FAdd(count=3)
+                yield ins.BlockSync()
+
+        fast = self._compare(spec, program)
+        assert fast.fused_rounds > 0
+        assert fast.defuse_count == 0
+
+    def test_divergence_then_barrier_refuses_every_warp(self, spec):
+        # The Fig-4-shaped divergence-after-barrier workload: each of the
+        # block's 4 warps re-fuses at every barrier join, so the refuse
+        # counter must reach warps x divergent-phases.
+        def program(ctx):
+            for r in range(3):
+                yield ins.Compute(20.0)
+                if r % 2 == 0:
+                    yield ins.Diverge(arms=1)
+                    yield ins.Compute(2.0 + ctx.lane % 3)
+                yield ins.BlockSync()
+            t = yield ins.ReadClock()
+            ctx.record("t", t)
+
+        fast = self._compare(spec, program)
+        assert fast.refuse_count == 4 * 2  # 4 warps x 2 divergent phases
+        assert fast.fused_rounds > 0
+
+    def test_mixed_warp_modes_interoperate(self, v100):
+        # Warp 0 diverges (thread-precise excursion), warps 1-3 stay
+        # converged; all four must still meet at the same block barrier.
+        def program(ctx):
+            if ctx.tid < 32:
+                yield ins.Diverge(arms=1)
+                yield ins.Compute(2.0 + ctx.lane % 5)
+            else:
+                yield ins.Compute(40.0)
+            yield ins.BlockSync()
+            t = yield ins.ReadClock()
+            ctx.record("t", t)
+
+        fast = self._compare(v100, program)
+        # Only warp 0 ever left converged mode.
+        assert fast.refuse_count == 1
+        # All threads resume from the barrier at one timestamp.
+        assert len(set(fast.record_series("t"))) == 1
+
+
 class TestPascalFenceCommitsGlobalTid:
     """Regression: the Pascal warp-sync fence must commit the *global*
     tid's pending writes — a warp at tid_offset != 0 previously fenced

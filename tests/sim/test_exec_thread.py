@@ -388,6 +388,8 @@ class TestSimtFastPathEquivalence:
                     "coalesced_sync",
                     "shuffle",
                     "diverge",
+                    "uniform_diverge",
+                    "blocksync",
                     "lane_compute",
                 ]
             ),
@@ -442,6 +444,12 @@ class TestSimtFastPathEquivalence:
                     )
                 elif kind == "diverge":
                     yield ins.Diverge(arms=1 + ctx.lane % 2)
+                elif kind == "uniform_diverge":
+                    # Uniform ladder: the staggered-analytic (virtual)
+                    # divergence region's entry condition.
+                    yield ins.Diverge(arms=2)
+                elif kind == "blocksync":
+                    yield ins.BlockSync()
                 elif kind == "lane_compute":
                     # Per-lane latency: forces the non-uniform fallback.
                     yield ins.Compute(2.0 + ctx.lane % 5)
@@ -449,3 +457,165 @@ class TestSimtFastPathEquivalence:
             return acc
 
         self._compare(spec, program, nthreads=nthreads)
+
+
+class TestReconvergence:
+    """The mode-switching scheduler must re-fuse after divergence — and
+    stay bit-identical to forced thread-precise execution across every
+    fast -> thread-precise -> re-fused boundary (divergent arms, shuffles,
+    barrier loops).  The counters on :class:`WarpRunResult` pin the mode
+    transitions so a regression back to permanent fallback fails loudly
+    rather than silently slowing down."""
+
+    _compare = staticmethod(TestSimtFastPathEquivalence._compare)
+
+    def test_barrier_loop_stays_converged(self, spec):
+        # The Fig-4 shape: uniform work punctuated by barriers in a tight
+        # loop.  No round is non-uniform, so the warp must never de-fuse.
+        def program(ctx):
+            for _ in range(6):
+                yield ins.Compute(20.0)
+                yield ins.BlockSync()
+
+        fast = self._compare(spec, program)
+        assert fast.fused_rounds > 0
+        assert fast.defuse_count == 0
+        assert fast.refuse_count == 0
+
+    def test_volta_warp_sync_loop_stays_converged(self, v100):
+        def program(ctx):
+            for r in range(5):
+                yield ins.SharedStore(slot=ctx.tid % 16, value=float(r))
+                yield ins.WarpSync(kind="tile")
+
+        fast = self._compare(v100, program)
+        assert fast.fused_rounds > 0
+        assert fast.defuse_count == 0
+
+    def test_converged_shuffle_stays_converged(self, spec):
+        # Shuffles used to force permanent fallback on both
+        # architectures; converged lanes now post/read in lockstep.
+        def program(ctx):
+            total = 0.0
+            for r in range(4):
+                total += yield ins.ShuffleDown(float(ctx.lane + r), delta=1)
+            return total
+
+        fast = self._compare(spec, program)
+        assert fast.fused_rounds > 0
+        assert fast.defuse_count == 0
+
+    def test_divergence_then_barrier_refuses(self, spec):
+        # Uniform divergent ladder, per-lane analytic work, then the
+        # reconvergence join at __syncthreads: the virtual region must
+        # re-fuse instead of falling back for the rest of the program.
+        def program(ctx):
+            for r in range(3):
+                yield ins.Compute(30.0)
+                yield ins.Diverge(arms=1)
+                yield ins.Compute(2.0 + ctx.lane % 3)
+                yield ins.BlockSync()
+            t = yield ins.ReadClock()
+            ctx.record("t", t)
+
+        fast = self._compare(spec, program)
+        assert fast.refuse_count == 3
+        assert fast.fused_rounds > 0
+
+    def test_nonuniform_region_parks_and_refuses(self, v100):
+        # Per-lane latencies de-fuse into real lane processes; the Volta
+        # warp barrier is the rendezvous every lane parks at.
+        def program(ctx):
+            for r in range(3):
+                yield ins.Compute(2.0 + ctx.lane % 5)
+                yield ins.WarpSync(kind="tile")
+            yield ins.Compute(10.0)
+
+        fast = self._compare(v100, program)
+        assert fast.defuse_count == 3
+        assert fast.refuse_count == 3
+
+    def test_virtual_region_aborts_on_memory_touch(self, spec):
+        # A shared-memory access inside the divergent region cannot be
+        # virtualized: the abort must replay event-for-event (pinned by
+        # the bit-identical comparison) and the warp still re-fuses at
+        # the barrier afterwards.
+        def program(ctx):
+            yield ins.Diverge(arms=1)
+            yield ins.SharedStore(slot=ctx.tid % 8, value=float(ctx.lane))
+            yield ins.BlockSync()
+            got = yield ins.SharedLoad(slot=(ctx.tid + 1) % 8)
+            ctx.record("got", got)
+
+        fast = self._compare(spec, program)
+        assert fast.defuse_count >= 1
+        assert fast.refuse_count >= 1
+
+    def test_divergent_shuffle_boundary(self, spec):
+        # Divergence -> shuffle: Volta re-fuses at the shuffle rendezvous
+        # (the join), Pascal replays and keeps its stale-read semantics.
+        def program(ctx):
+            yield ins.Diverge(arms=1)
+            got = yield ins.ShuffleDown(float(ctx.lane), delta=1)
+            ctx.record("got", got)
+
+        fast = self._compare(spec, program)
+        if spec.warp_sync.blocking:
+            assert fast.refuse_count == 1
+            assert not fast.shuffle_incorrect
+        else:
+            assert fast.shuffle_incorrect
+
+    def test_uneven_retirement_during_region(self, spec):
+        # Lanes retiring inside a divergent region: the region ends
+        # "done" (or re-fuses the survivors) without losing any lane's
+        # records or end time.
+        def program(ctx):
+            yield ins.Diverge(arms=1)
+            if ctx.lane % 2:
+                return "early"
+            yield ins.Compute(5.0)
+            yield ins.WarpSync(kind="tile", mask=0x55555555)
+            return "late"
+
+        self._compare(spec, program)
+
+    def test_thread_precise_mode_reports_zero_counters(self, spec):
+        def program(ctx):
+            yield ins.Compute(5.0)
+            yield ins.BlockSync()
+
+        slow = WarpExecutor(spec, nthreads=8, simt_fast_path=False).run(program)
+        assert slow.fused_rounds == 0
+        assert slow.defuse_count == 0
+        assert slow.refuse_count == 0
+
+    def test_event_sequence_pinned_across_boundary(self, v100):
+        # Pin the observable event sequence (clock-read timestamps per
+        # lane) through fast -> divergent -> re-fused execution: the
+        # staircase must still show per-lane serialization and the
+        # post-join reads must collapse back to one common timestamp.
+        def program(ctx):
+            t0 = yield ins.ReadClock()
+            yield ins.Diverge(arms=1)
+            t1 = yield ins.ReadClock()
+            yield ins.WarpSync(kind="tile")
+            t2 = yield ins.ReadClock()
+            ctx.record("t0", t0)
+            ctx.record("t1", t1)
+            ctx.record("t2", t2)
+
+        fast = WarpExecutor(v100, nthreads=32, simt_fast_path=True).run(program)
+        slow = WarpExecutor(v100, nthreads=32, simt_fast_path=False).run(program)
+        for key in ("t0", "t1", "t2"):
+            assert fast.record_series(key) == slow.record_series(key)
+        # Converged before the ladder: one shared timestamp.
+        assert len(set(fast.record_series("t0"))) == 1
+        # Inside the ladder: strictly serialized, one arm apart.
+        t1s = fast.record_series("t1")
+        assert t1s == sorted(t1s) and len(set(t1s)) == 32
+        step = v100.instructions.divergent_arm_cycles
+        assert t1s[-1] - t1s[0] == pytest.approx(31 * step, rel=0.05)
+        # After the join: re-converged to one shared timestamp again.
+        assert len(set(fast.record_series("t2"))) == 1
+        assert fast.refuse_count == 1

@@ -39,6 +39,45 @@ class TestMemoryChannel:
         with pytest.raises(ValueError):
             ch.effective_poll_ns(1, 0.0)
 
+    def test_capacity_floor_boundary_values(self):
+        # Regression: utilizations just below 1 used to be accepted and
+        # produced physically meaningless detection lags (0.999 stretches
+        # every read 1000x).  The channel now rejects anything above the
+        # documented capacity floor, exactly at the boundary.
+        from repro.sim.memory import MAX_WORKLOAD_UTIL
+
+        ch = MemoryChannel(read_ns=1.0, workload_util=MAX_WORKLOAD_UTIL)
+        assert ch.workload_util == MAX_WORKLOAD_UTIL
+        assert ch.stretched_read_ns() == pytest.approx(
+            1.0 / (1.0 - MAX_WORKLOAD_UTIL)
+        )
+        for util in (
+            MAX_WORKLOAD_UTIL + 1e-9,
+            0.96,
+            0.999,
+            1.0 - 1e-12,
+        ):
+            with pytest.raises(ValueError, match="capacity floor"):
+                MemoryChannel(read_ns=1.0, workload_util=util)
+        # The error is actionable: it names the knob and the bound.
+        with pytest.raises(ValueError, match="extra.workload_util"):
+            ch.inject_workload(0.999)
+
+    def test_capacity_floor_applies_to_strategy_knobs(self):
+        # The scenario/scope knob path must hit the same guard: a sweep
+        # that injects near-saturation workload traffic fails loudly at
+        # construction instead of reporting absurd barrier latencies.
+        with pytest.raises(ValueError, match="capacity floor"):
+            GridGroup(
+                V100, 1, 32, strategy="atomic",
+                strategy_knobs={"workload_util": 0.999},
+            )
+        with pytest.raises(ValueError, match="capacity floor"):
+            MultiGridGroup(
+                Node(DGX1_V100), 1, 32, strategy="atomic",
+                strategy_knobs={"workload_util": 0.99},
+            )
+
     def test_uncontended_poll_period_is_nominal(self):
         ch = MemoryChannel(read_ns=10.0)
         assert ch.effective_poll_ns(1, 1000.0) == 1000.0

@@ -1,0 +1,196 @@
+"""Parametrized kwarg-passthrough parity for the deprecation shims.
+
+``simulate_grid_sync`` / ``simulate_multigrid_sync`` promise to reproduce
+the :mod:`repro.sync` scopes event-for-event.  That only holds if every
+constructor kwarg — strategy kind, strategy knobs, a fully constructed
+strategy carrying an injected :class:`~repro.sim.memory.MemoryChannel`,
+engines, participation controls — is forwarded rather than silently
+dropped.  These tests pin the contract two ways: structurally (the shim
+signature covers every scope-constructor kwarg) and behaviourally (shim
+and scope produce equal results and event counts for each strategy
+configuration).
+"""
+
+from __future__ import annotations
+
+import inspect
+import warnings
+
+import pytest
+
+from repro.sim.arch import DGX1_V100
+from repro.sim.device import simulate_grid_sync
+from repro.sim.engine import DeadlockError, Engine
+from repro.sim.memory import MemoryChannel
+from repro.sim.node import Node, simulate_multigrid_sync
+from repro.sync import GridGroup, MultiGridGroup
+from repro.sync.strategies import SoftwareAtomicBarrier
+
+
+def _shim_grid(spec, *args, **kw):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return simulate_grid_sync(spec, *args, **kw)
+
+
+def _shim_multigrid(node, *args, **kw):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return simulate_multigrid_sync(node, *args, **kw)
+
+
+class TestSignatureCoverage:
+    """Every scope-constructor kwarg must exist on its shim."""
+
+    @pytest.mark.parametrize(
+        "shim, scope, positional",
+        [
+            (
+                simulate_grid_sync,
+                GridGroup,
+                {"spec", "blocks_per_sm", "threads_per_block"},
+            ),
+            (
+                simulate_multigrid_sync,
+                MultiGridGroup,
+                {"node", "blocks_per_sm", "threads_per_block"},
+            ),
+        ],
+    )
+    def test_shim_accepts_every_scope_kwarg(self, shim, scope, positional):
+        scope_params = set(inspect.signature(scope.__init__).parameters) - {
+            "self"
+        }
+        shim_params = set(inspect.signature(shim).parameters)
+        dropped = scope_params - positional - shim_params
+        assert not dropped, (
+            f"{shim.__name__} silently drops scope kwarg(s) {sorted(dropped)}"
+        )
+
+
+# Valid (strategy, knobs) configurations per scope.  Knob sets are the
+# ones each scope's builder actually reads — unread knobs are rejected by
+# design, which is itself part of the parity (both paths must reject).
+GRID_CONFIGS = [
+    pytest.param(None, None, id="default"),
+    pytest.param("cooperative", None, id="cooperative"),
+    pytest.param("cooperative", {"atomic_service_ns": 5.0}, id="coop-knob"),
+    pytest.param("atomic", None, id="atomic"),
+    pytest.param(
+        "atomic",
+        {"poll_ns": 200.0, "poll_read_ns": 1.0, "workload_util": 0.5},
+        id="atomic-knobs",
+    ),
+    pytest.param("cpu", None, id="cpu"),
+]
+
+MULTIGRID_CONFIGS = [
+    pytest.param(None, None, id="default"),
+    pytest.param("cooperative", None, id="cooperative"),
+    pytest.param("atomic", None, id="atomic"),
+    pytest.param(
+        "atomic",
+        {"poll_ns": 300.0, "workload_util": 0.25, "atomic_service_ns": 40.0},
+        id="atomic-knobs",
+    ),
+    pytest.param("cpu", None, id="cpu"),
+]
+
+
+class TestGridShimParity:
+    @pytest.mark.parametrize("strategy, knobs", GRID_CONFIGS)
+    def test_strategy_and_knobs_forwarded(self, spec, strategy, knobs):
+        eng_old, eng_new = Engine(), Engine()
+        old = _shim_grid(
+            spec, 2, 128, n_syncs=2, engine=eng_old,
+            strategy=strategy, strategy_knobs=knobs,
+        )
+        new = GridGroup(
+            spec, 2, 128, engine=eng_new,
+            strategy=strategy, strategy_knobs=knobs,
+        ).simulate(n_syncs=2)
+        assert old == new
+        assert eng_old.event_count == eng_new.event_count
+
+    def test_constructed_strategy_with_channel_forwarded(self, spec):
+        # Channel injection travels inside a ready-made strategy instance;
+        # the shim must hand the instance through untouched.
+        def build(engine):
+            return SoftwareAtomicBarrier(
+                expected=2 * spec.sm_count,
+                atomic_service_ns=4.0,
+                poll_ns=150.0,
+                channel=MemoryChannel(read_ns=1.0, workload_util=0.5),
+            )
+
+        eng_old, eng_new = Engine(), Engine()
+        old = _shim_grid(
+            spec, 2, 128, engine=eng_old, strategy=build(eng_old)
+        )
+        new = GridGroup(
+            spec, 2, 128, engine=eng_new, strategy=build(eng_new)
+        ).simulate()
+        assert old == new
+        assert eng_old.event_count == eng_new.event_count
+
+    def test_sm_count_and_participation_forwarded(self, spec):
+        old = _shim_grid(spec, 1, 64, sm_count=4)
+        new = GridGroup(spec, 1, 64, sm_count=4).simulate()
+        assert old == new
+        with pytest.raises(DeadlockError):
+            _shim_grid(spec, 1, 64, sm_count=4, participating_blocks=2)
+
+    def test_bad_knobs_rejected_identically(self, spec):
+        with pytest.raises(ValueError, match="no effect"):
+            _shim_grid(spec, 1, 64, strategy="cpu", strategy_knobs={"poll_ns": 1.0})
+        with pytest.raises(ValueError, match="no effect"):
+            GridGroup(spec, 1, 64, strategy="cpu", strategy_knobs={"poll_ns": 1.0})
+
+
+class TestMultiGridShimParity:
+    @pytest.mark.parametrize("strategy, knobs", MULTIGRID_CONFIGS)
+    def test_strategy_and_knobs_forwarded(self, dgx1, strategy, knobs):
+        node = Node(dgx1, gpu_count=4)
+        eng_old, eng_new = Engine(), Engine()
+        old = _shim_multigrid(
+            node, 1, 32, n_syncs=2, engine=eng_old,
+            strategy=strategy, strategy_knobs=knobs,
+        )
+        new = MultiGridGroup(
+            node, 1, 32, engine=eng_new,
+            strategy=strategy, strategy_knobs=knobs,
+        ).simulate(n_syncs=2)
+        assert old == new
+        assert eng_old.event_count == eng_new.event_count
+
+    def test_constructed_strategy_with_channel_forwarded(self, dgx1):
+        node = Node(dgx1, gpu_count=3)
+
+        def build():
+            return SoftwareAtomicBarrier(
+                expected=3,
+                atomic_service_ns=100.0,
+                poll_ns=400.0,
+                channel=MemoryChannel(read_ns=50.0, workload_util=0.25),
+                flag_rtt_ns=100.0,
+            )
+
+        old = _shim_multigrid(node, 1, 32, strategy=build())
+        new = MultiGridGroup(node, 1, 32, strategy=build()).simulate()
+        assert old == new
+
+    def test_gpu_ids_and_participation_forwarded(self, dgx1):
+        node = Node(dgx1)
+        old = _shim_multigrid(node, 1, 32, gpu_ids=(0, 2, 5))
+        new = MultiGridGroup(node, 1, 32, gpu_ids=(0, 2, 5)).simulate()
+        assert old == new
+        assert old.gpu_ids == (0, 2, 5)
+        with pytest.raises(DeadlockError):
+            _shim_multigrid(
+                node, 1, 32, gpu_ids=(0, 1, 2), participating_gpus=(0, 1)
+            )
+
+    def test_full_local_participation_forwarded(self, dgx1):
+        node = Node(dgx1, gpu_count=2)
+        with pytest.raises(DeadlockError):
+            _shim_multigrid(node, 1, 32, full_local_participation=False)
