@@ -8,6 +8,7 @@ result cache.
 """
 
 from repro.experiments.base import ComparisonRow, ExperimentReport, merge_reports
+from repro.experiments.faults import FaultPlan, FaultRule, TransientPointError
 from repro.experiments.registry import (
     EXPERIMENTS,
     ExperimentSpec,
@@ -15,6 +16,7 @@ from repro.experiments.registry import (
     run_all,
     run_experiment,
 )
+from repro.experiments.runner import RetryPolicy
 from repro.experiments.scenario import PAPER_SCENARIO, Scenario
 
 __all__ = [
@@ -22,8 +24,12 @@ __all__ = [
     "ExperimentReport",
     "ExperimentSpec",
     "EXPERIMENTS",
+    "FaultPlan",
+    "FaultRule",
     "PAPER_SCENARIO",
+    "RetryPolicy",
     "Scenario",
+    "TransientPointError",
     "get_spec",
     "merge_reports",
     "run_experiment",

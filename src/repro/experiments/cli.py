@@ -1,13 +1,17 @@
 """Command-line entry point: ``repro-experiments [ids...]``.
 
 Runs the requested experiments (default: all) through the declarative
-pipeline — parallel across ``--jobs`` processes, served from the
-content-addressed result cache unless ``--no-cache`` — and prints either
-ASCII reports or ``--json`` machine output.  Exit codes:
+pipeline — parallel across ``--jobs`` processes under the supervised
+runner (per-point ``--timeout``, crash isolation, ``--retries`` with
+backoff), served from the content-addressed result cache unless
+``--no-cache`` — and prints either ASCII reports or ``--json`` machine
+output.  Progress is journaled next to the cache so an interrupted sweep
+can continue with ``--resume``.  Exit codes:
 
 * ``0`` — every experiment ran and landed within its tolerance,
 * ``1`` — a driver failed or a report exceeded its reproduction tolerance,
-* ``2`` — bad usage (unknown experiment id / malformed ``--scenario``).
+* ``2`` — bad usage (unknown experiment id / malformed ``--scenario`` /
+  an unusable ``--resume`` journal).
 """
 
 from __future__ import annotations
@@ -16,9 +20,14 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.experiments import runner
+from repro.experiments.journal import (
+    SweepJournal,
+    default_journal_path,
+    load_journal,
+)
 from repro.experiments.registry import EXPERIMENTS, filter_by_tags, get_spec
 from repro.experiments.scenario import apply_overrides
 
@@ -58,6 +67,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run (experiment, scenario) points across N processes",
     )
     parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "wall-clock bound per point attempt; a stuck worker is killed "
+            "and the point retried (implies the supervised pool path even "
+            "with --jobs 1)"
+        ),
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help=(
+            "retry transient point failures (worker crash, timeout, "
+            "TransientPointError) up to N times with exponential backoff; "
+            "deterministic driver errors always fail fast (default: 2)"
+        ),
+    )
+    parser.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit reports as a JSON array instead of ASCII tables",
     )
@@ -79,6 +104,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir", type=Path, default=None, metavar="DIR",
         help="result cache location (default: $REPRO_EXPERIMENTS_CACHE "
              "or ~/.cache/repro-experiments)",
+    )
+    parser.add_argument(
+        "--journal", type=Path, default=None, metavar="PATH",
+        help=(
+            "sweep journal location (default: sweep-journal.jsonl next to "
+            "the cache when caching is enabled); records point "
+            "start/finish/failure for --resume"
+        ),
+    )
+    parser.add_argument(
+        "--resume", type=Path, default=None, metavar="JOURNAL",
+        help=(
+            "resume an interrupted sweep from its journal: the point list "
+            "comes from the journal, finished points are served from the "
+            "result cache, and only unfinished/failed points execute"
+        ),
     )
     return parser
 
@@ -121,28 +162,85 @@ def main(argv: Optional[List[str]] = None) -> int:
         _list_experiments(ids)
         return 0
 
-    # Build the point list: default scenarios, with --scenario overrides
-    # applied to each.  Overrides can collapse distinct defaults into the
-    # same scenario (e.g. gpus=P100 onto per-GPU defaults), so dedupe —
-    # Scenario is frozen/hashable and dict.fromkeys preserves order.
-    points = []
-    try:
-        for exp_id in ids:
-            scens = dict.fromkeys(
-                apply_overrides(scen, args.scenario)
-                for scen in get_spec(exp_id).default_scenarios
-            )
-            points.extend((exp_id, scen) for scen in scens)
-    except ValueError as exc:
-        print(f"bad --scenario override: {exc}", file=sys.stderr)
+    if args.retries < 0:
+        print("--retries must be >= 0", file=sys.stderr)
         return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("--timeout must be positive", file=sys.stderr)
+        return 2
+
+    if args.resume is not None:
+        # The journal *is* the sweep definition: mixing it with a fresh
+        # point selection would silently run something else than what is
+        # being resumed, and without the cache the finished points'
+        # reports are unrecoverable.
+        if args.ids or args.scenario or tags:
+            print(
+                "--resume takes its experiments and scenarios from the "
+                "journal; drop the ids / --scenario / --tags arguments",
+                file=sys.stderr,
+            )
+            return 2
+        if args.no_cache:
+            print(
+                "--resume needs the result cache to recover finished "
+                "points; drop --no-cache",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            state = load_journal(args.resume)
+        except ValueError as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        points = state.points
+        ids = list(dict.fromkeys(exp_id for exp_id, _ in points))
+        done = len(state.finished)
+        print(
+            f"resuming sweep from {args.resume}: {len(points)} point(s), "
+            f"{done} already finished, {len(points) - done} to execute",
+            file=sys.stderr,
+        )
+    else:
+        # Build the point list: default scenarios, with --scenario
+        # overrides applied to each.  Overrides can collapse distinct
+        # defaults into the same scenario (e.g. gpus=P100 onto per-GPU
+        # defaults), so dedupe — Scenario is frozen/hashable and
+        # dict.fromkeys preserves order.
+        points = []
+        try:
+            for exp_id in ids:
+                scens = dict.fromkeys(
+                    apply_overrides(scen, args.scenario)
+                    for scen in get_spec(exp_id).default_scenarios
+                )
+                points.extend((exp_id, scen) for scen in scens)
+        except ValueError as exc:
+            print(f"bad --scenario override: {exc}", file=sys.stderr)
+            return 2
+
+    # Journal: explicit path, the resumed journal (append to it), or the
+    # default next to the cache.  --no-cache runs are throwaway by
+    # declaration, so they carry no journal unless one is named.
+    journal_path = args.journal
+    if journal_path is None and args.resume is not None:
+        journal_path = args.resume
+    if journal_path is None and not args.no_cache:
+        cache_root = args.cache_dir or runner.default_cache_dir()
+        journal_path = default_journal_path(cache_root)
+    journal = SweepJournal(journal_path) if journal_path is not None else None
 
     results = runner.run_points(
         points,
         jobs=args.jobs,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        retry=runner.RetryPolicy(max_attempts=args.retries + 1),
+        journal=journal,
     )
+    if journal is not None:
+        journal.close()
 
     exit_code = 0
     reports = []
@@ -150,12 +248,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     for res in results:
         if not res.ok:
             print(
-                f"experiment {res.exp_id} [{res.scenario.describe()}] failed:\n"
+                f"experiment {res.exp_id} [{res.scenario.describe()}] failed "
+                f"({res.error_kind or 'error'}, {res.attempts} attempt(s)):\n"
                 f"{res.error}",
                 file=sys.stderr,
             )
             exit_code = 1
             continue
+        if res.retries or res.crashes or res.timeouts:
+            # Surface recoveries: the sweep finished, but not first try.
+            print(
+                f"note: {res.exp_id} [{res.scenario.describe()}] recovered "
+                f"after {res.attempts} attempts "
+                f"({res.crashes} crash(es), {res.timeouts} timeout(s))",
+                file=sys.stderr,
+            )
         by_exp.setdefault(res.exp_id, []).append(res)
     for exp_id in ids:
         if exp_id in by_exp:
@@ -178,7 +285,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             exit_code = 1
 
     if args.as_json:
-        print(json.dumps([r.to_dict() for r in reports], indent=2))
+        # Each report ships its execution counters: how many attempts the
+        # sweep spent on the experiment's points, and how many were lost
+        # to crashes/timeouts — the observability face of the supervised
+        # runner (points that failed outright are counted here too, even
+        # though their rows are absent).
+        stats: Dict[str, Dict[str, int]] = {}
+        for res in results:
+            st = stats.setdefault(
+                res.exp_id,
+                {"points": 0, "attempts": 0, "retries": 0, "crashes": 0,
+                 "timeouts": 0, "cached": 0, "failed": 0},
+            )
+            st["points"] += 1
+            st["attempts"] += res.attempts
+            st["retries"] += res.retries
+            st["crashes"] += res.crashes
+            st["timeouts"] += res.timeouts
+            st["cached"] += 1 if res.cached else 0
+            st["failed"] += 0 if res.ok else 1
+        payload = []
+        for report in reports:
+            d = report.to_dict()
+            d["execution"] = stats[report.exp_id]
+            payload.append(d)
+        print(json.dumps(payload, indent=2))
     else:
         for report in reports:
             print(report.render())

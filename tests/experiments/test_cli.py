@@ -100,3 +100,193 @@ class TestCacheStoreFailure:
         out, err = capsys.readouterr()
         assert json.loads(out)[0]["exp_id"] == "table4"
         assert "could not write result cache entry" in err
+
+
+class TestWorkerCrashIsolation:
+    """A worker that dies mid-sweep must not take sibling results with it.
+
+    This extends the partial-results contract above from driver
+    *exceptions* to driver *crashes*: the process is simply gone
+    (``os._exit``), the pool breaks, and the merged ``--json`` report
+    must still carry every surviving point's rows.
+    """
+
+    @pytest.fixture
+    def crashing_table5(self, monkeypatch):
+        """table5 whose P100 point kills its worker outright, every time."""
+        import os as _os
+
+        orig = EXPERIMENTS["table5"].driver
+
+        def driver(scenario):
+            if "P100" in scenario.gpus:
+                _os._exit(1)
+            return orig(scenario)
+
+        _patch_driver(monkeypatch, "table5", driver)
+
+    def test_crash_does_not_lose_siblings_and_json_lands(
+        self, crashing_table5, capsys
+    ):
+        rc = main(["table5", "--json", "--no-cache", "--jobs", "2"])
+        assert rc == 1  # the crashing point is a real failure
+        out, err = capsys.readouterr()
+        reports = json.loads(out)  # stdout must stay valid JSON
+        assert [r["exp_id"] for r in reports] == ["table5"]
+        assert reports[0]["rows"], "sibling results were lost to the crash"
+        assert all("V100" in r["label"] for r in reports[0]["rows"])
+        assert reports[0]["execution"]["crashes"] >= 1
+        assert reports[0]["execution"]["failed"] == 1
+        assert "crash" in err
+
+    def test_crash_alongside_healthy_experiment(self, crashing_table5, capsys):
+        rc = main(
+            ["table5", "table4", "--json", "--no-cache", "--jobs", "2"]
+        )
+        assert rc == 1
+        reports = json.loads(capsys.readouterr().out)
+        assert [r["exp_id"] for r in reports] == ["table5", "table4"]
+        assert reports[1]["rows"]
+
+    def test_recovered_crash_exits_zero(self, tmp_path, monkeypatch, capsys):
+        # The worker dies only on the first attempt; with retries the
+        # sweep must finish cleanly and surface the recovery counters.
+        from repro.experiments import faults
+
+        plan = faults.FaultPlan((
+            faults.FaultRule(kind="kill", match="table5", scenario="P100",
+                             attempts=1),
+        ))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        rc = main([
+            "table5", "--json", "--jobs", "2", "--retries", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        out, err = capsys.readouterr()
+        assert rc == 0
+        reports = json.loads(out)
+        stats = reports[0]["execution"]
+        assert stats["failed"] == 0
+        assert stats["crashes"] >= 1
+        assert stats["attempts"] > stats["points"]
+        assert "recovered" in err
+
+
+class TestExecutionCounters:
+    def test_clean_run_counters(self, capsys):
+        assert main(["table4", "--json", "--no-cache"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        stats = reports[0]["execution"]
+        assert stats["points"] == 2
+        assert stats["attempts"] == 2
+        assert stats["retries"] == 0
+        assert stats["crashes"] == 0
+        assert stats["timeouts"] == 0
+        assert stats["failed"] == 0
+
+    def test_flaky_point_retry_counters(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import faults
+
+        plan = faults.FaultPlan((
+            faults.FaultRule(kind="flaky", match="table4", scenario="V100",
+                             attempts=2),
+        ))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        rc = main([
+            "table4", "--json", "--retries", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert rc == 0
+        reports = json.loads(capsys.readouterr().out)
+        stats = reports[0]["execution"]
+        assert stats["retries"] == 2  # the twice-flaky point took 3 attempts
+        assert stats["failed"] == 0
+
+
+class TestResume:
+    def _journal(self, cache):
+        from repro.experiments.journal import default_journal_path
+
+        return default_journal_path(cache)
+
+    def test_resume_reexecutes_only_unfinished_points(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.experiments import faults
+
+        cache = tmp_path / "cache"
+        calls = tmp_path / "calls"
+        calls.mkdir()
+        orig = EXPERIMENTS["table5"].driver
+
+        def counting(scenario):
+            label = "-".join(scenario.gpus)
+            n = len(list(calls.glob(f"{label}*")))
+            (calls / f"{label}.{n}").touch()
+            return orig(scenario)
+
+        _patch_driver(monkeypatch, "table5", counting)
+
+        # Sweep 1: the P100 point fails deterministically -> exit 1 with a
+        # journal recording one finish and one failure.
+        plan = faults.FaultPlan((
+            faults.FaultRule(kind="error", match="table5", scenario="P100",
+                             attempts=99),
+        ))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        assert main(["table5", "--json", "--cache-dir", str(cache)]) == 1
+        capsys.readouterr()
+        assert len(list(calls.glob("V100*"))) == 1
+
+        # Resume without the fault: only the failed point runs a driver;
+        # the finished point is served from the cache.
+        monkeypatch.delenv(faults.ENV_VAR)
+        rc = main(["--resume", str(self._journal(cache)), "--json",
+                   "--cache-dir", str(cache)])
+        out, err = capsys.readouterr()
+        assert rc == 0
+        assert len(list(calls.glob("V100*"))) == 1  # not re-executed
+        assert len(list(calls.glob("P100*"))) >= 1  # re-executed
+        reports = json.loads(out)
+        assert reports[0]["execution"]["cached"] == 1
+        assert reports[0]["execution"]["failed"] == 0
+        assert len(reports[0]["scenario"]["points"]) == 2  # full merged report
+        assert "resuming sweep" in err
+
+    def test_completed_journal_resumes_to_full_cache_hits(
+        self, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache"
+        assert main(["table4", "--json", "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        rc = main(["--resume", str(self._journal(cache)), "--json",
+                   "--cache-dir", str(cache)])
+        out, _ = capsys.readouterr()
+        assert rc == 0
+        stats = json.loads(out)[0]["execution"]
+        assert stats["cached"] == stats["points"] == 2
+
+    def test_resume_rejects_point_selection_args(self, tmp_path, capsys):
+        rc = main(["table4", "--resume", str(tmp_path / "j.jsonl")])
+        assert rc == 2
+        assert "from the journal" in capsys.readouterr().err
+
+    def test_resume_rejects_no_cache(self, tmp_path, capsys):
+        rc = main(["--resume", str(tmp_path / "j.jsonl"), "--no-cache"])
+        assert rc == 2
+        assert "needs the result cache" in capsys.readouterr().err
+
+    def test_resume_missing_journal_is_usage_error(self, tmp_path, capsys):
+        rc = main(["--resume", str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+
+class TestSupervisionUsage:
+    def test_negative_retries_rejected(self, capsys):
+        assert main(["table4", "--retries", "-1"]) == 2
+        assert "--retries" in capsys.readouterr().err
+
+    def test_nonpositive_timeout_rejected(self, capsys):
+        assert main(["table4", "--timeout", "0"]) == 2
+        assert "--timeout" in capsys.readouterr().err

@@ -179,17 +179,27 @@ class TestWorkerCodeVersion:
         filesystem digest — a source edit during a parallel run must not
         split one run across two cache keys (the spawn start method would
         otherwise recompute mid-run)."""
+        from repro.experiments import faults
+
         monkeypatch.setattr(runner, "_CODE_VERSION", None)
+        # _pool_worker flips the worker marker; restore it so later
+        # in-process fault tests keep the kill-downgrade behaviour.
+        monkeypatch.setattr(faults, "IN_WORKER", False)
         sentinel = "feedfacefeedface"
         scen = Scenario(gpus=("V100",))
         out = runner._pool_worker(
-            ("table4", scen.to_dict(), True, str(cache_dir), sentinel)
+            ("table4", scen.to_dict(), True, str(cache_dir), sentinel, 1, None)
         )
         assert out[0] == "table4" and out[1] is not None
         assert runner._CODE_VERSION == sentinel
         assert list(cache_dir.glob(f"table4-*-{sentinel}.json"))
 
     def test_run_points_ships_version_with_payload(self, cache_dir, monkeypatch):
+        from concurrent.futures import Future
+
+        from repro.experiments import faults
+
+        monkeypatch.setattr(faults, "IN_WORKER", False)
         captured = {}
         real_worker = runner._pool_worker
 
@@ -197,19 +207,22 @@ class TestWorkerCodeVersion:
             captured["version"] = args[4]
             return real_worker(args)
 
-        # jobs=2 engages the pool path; run in-process to observe the payload.
+        # jobs=2 engages the supervised pool path; run in-process (futures
+        # resolve at submit time) to observe the payload.
         class FakePool:
             def __init__(self, max_workers):
                 pass
 
-            def __enter__(self):
-                return self
+            def submit(self, fn, payload):
+                fut = Future()
+                try:
+                    fut.set_result(fn(payload))
+                except BaseException as exc:  # pragma: no cover - safety
+                    fut.set_exception(exc)
+                return fut
 
-            def __exit__(self, *exc):
-                return False
-
-            def map(self, fn, payload):
-                return [fn(p) for p in payload]
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
 
         monkeypatch.setattr(runner, "ProcessPoolExecutor", FakePool)
         monkeypatch.setattr(runner, "_pool_worker", fake_worker)
