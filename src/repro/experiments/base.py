@@ -66,9 +66,11 @@ class ExperimentReport:
 
     ``scenario`` records the scenario the driver ran against (its
     ``to_dict`` form; a merged report carries one entry per point under
-    ``{"points": [...]}``).  It is provenance only — :meth:`render` does
-    not display it, so scenario bookkeeping never perturbs the rendered
-    paper artifacts.
+    ``{"points": [...]}``).  ``backend`` records which simulation backend
+    actually executed the driver's sweeps (``None`` = the pre-backend
+    engine default).  Both are provenance only — :meth:`render` does not
+    display them, so the bookkeeping never perturbs the rendered paper
+    artifacts.
     """
 
     exp_id: str
@@ -77,6 +79,7 @@ class ExperimentReport:
     artifacts: List[str] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     scenario: Optional[Dict[str, Any]] = None
+    backend: Optional[str] = None
 
     def add(
         self,
@@ -105,7 +108,7 @@ class ExperimentReport:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-native representation (used by the cache and ``--json``)."""
-        return {
+        data = {
             "exp_id": self.exp_id,
             "title": self.title,
             "rows": [r.to_dict() for r in self.rows],
@@ -115,6 +118,11 @@ class ExperimentReport:
             "mean_rel_err": self.mean_rel_err,
             "max_rel_err": self.max_rel_err,
         }
+        # Omitted when unset so default-engine reports stay byte-identical
+        # to the pre-backend pipeline (same contract as scenario knobs).
+        if self.backend is not None:
+            data["backend"] = self.backend
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentReport":
@@ -125,6 +133,7 @@ class ExperimentReport:
             artifacts=list(data.get("artifacts", ())),
             notes=list(data.get("notes", ())),
             scenario=data.get("scenario"),
+            backend=data.get("backend"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -191,4 +200,7 @@ def merge_reports(
     merged.scenario = {
         "points": [rep.scenario for rep in reports if rep.scenario is not None]
     }
+    backends = {rep.backend for rep in reports if rep.backend is not None}
+    if backends:
+        merged.backend = backends.pop() if len(backends) == 1 else "mixed"
     return merged

@@ -30,6 +30,7 @@ from repro.experiments.journal import (
 )
 from repro.experiments.registry import EXPERIMENTS, filter_by_tags, get_spec
 from repro.experiments.scenario import apply_overrides
+from repro.sim.backends import BACKEND_CHOICES
 
 __all__ = ["main"]
 
@@ -97,6 +98,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help=(
+            "simulation execution backend for every selected experiment: "
+            "engine (event-precise, the default), analytic (vectorized "
+            "closed forms for eligible sync sweeps), or auto (analytic "
+            "where eligible, engine otherwise); shorthand for --scenario "
+            "backend=NAME"
+        ),
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the on-disk result cache (always recompute)",
     )
@@ -129,7 +140,14 @@ def _list_experiments(ids: List[str]) -> None:
     for exp_id in ids:
         spec = EXPERIMENTS[exp_id]
         tags = f"  [{', '.join(spec.tags)}]" if spec.tags else ""
-        print(f"{exp_id:<{width}}  {spec.title}{tags}")
+        # Per-experiment backend eligibility; experiments on the engine
+        # only (no analytic-eligible sweeps) stay unannotated.
+        backends = (
+            f"  (backends: {', '.join(spec.backends)})"
+            if spec.backends != ("engine",)
+            else ""
+        )
+        print(f"{exp_id:<{width}}  {spec.title}{tags}{backends}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -140,6 +158,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if bad:
         print(f"unknown experiment(s): {', '.join(bad)}", file=sys.stderr)
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    if args.backend is not None and args.backend not in BACKEND_CHOICES:
+        print(f"unknown backend: {args.backend}", file=sys.stderr)
+        print(f"available: {', '.join(BACKEND_CHOICES)}", file=sys.stderr)
         return 2
 
     # Tag filter: keep experiments carrying any requested tag.  This is
@@ -174,10 +197,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # point selection would silently run something else than what is
         # being resumed, and without the cache the finished points'
         # reports are unrecoverable.
-        if args.ids or args.scenario or tags:
+        if args.ids or args.scenario or tags or args.backend is not None:
             print(
                 "--resume takes its experiments and scenarios from the "
-                "journal; drop the ids / --scenario / --tags arguments",
+                "journal; drop the ids / --scenario / --backend / --tags "
+                "arguments",
                 file=sys.stderr,
             )
             return 2
@@ -207,11 +231,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         # defaults into the same scenario (e.g. gpus=P100 onto per-GPU
         # defaults), so dedupe — Scenario is frozen/hashable and
         # dict.fromkeys preserves order.
+        overrides = list(args.scenario)
+        if args.backend is not None:
+            # --backend is sugar for a scenario override so it reaches the
+            # cache key, provenance and every driver through one path.
+            overrides.append(f"backend={args.backend}")
         points = []
         try:
             for exp_id in ids:
                 scens = dict.fromkeys(
-                    apply_overrides(scen, args.scenario)
+                    apply_overrides(scen, overrides)
                     for scen in get_spec(exp_id).default_scenarios
                 )
                 points.extend((exp_id, scen) for scen in scens)

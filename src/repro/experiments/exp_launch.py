@@ -113,6 +113,7 @@ def run_fig9(
             MultiGridGroup(
                 node, b, t, gpu_ids=range(n),
                 strategy=strategy, strategy_knobs=knobs,
+                backend=scenario.backend,
             )
             .simulate()
             .latency_per_sync_us
@@ -165,4 +166,7 @@ def run_fig9(
         "multi-grid (general config) <= 3x CPU-side at 8 GPUs: "
         + str(series["mgrid_general"][-1] <= 3.0 * cpu[-1])
     )
+    # Only the multi-grid series route through a backend; the launch and
+    # CPU-side series are engine-independent measurements.
+    report.backend = scenario.backend
     return report

@@ -202,7 +202,10 @@ def run_fig5(
         spec = specs[0]
         report = _heatmap_report(
             "fig5", f"Grid synchronization heat-map ({spec.name})",
-            grid_sync_heatmap(spec, strategy=strategy, strategy_knobs=knobs),
+            grid_sync_heatmap(
+                spec, strategy=strategy, strategy_knobs=knobs,
+                backend=scenario.backend,
+            ),
             paper_for(spec), spec.name,
         )
     else:
@@ -210,7 +213,10 @@ def run_fig5(
         for spec in specs:
             sub = _heatmap_report(
                 "fig5", "",
-                grid_sync_heatmap(spec, strategy=strategy, strategy_knobs=knobs),
+                grid_sync_heatmap(
+                    spec, strategy=strategy, strategy_knobs=knobs,
+                    backend=scenario.backend,
+                ),
                 paper_for(spec), spec.name,
             )
             report.rows.extend(sub.rows)
@@ -222,6 +228,7 @@ def run_fig5(
         "grid sync latency tracks blocks/SM (atomic serialization), weakly "
         "threads/block; cells blank where the grid cannot co-reside"
     )
+    report.backend = scenario.backend
     return report
 
 
@@ -234,7 +241,8 @@ def run_fig7(scenario: Optional[Scenario] = None) -> ExperimentReport:
     for n in scenario.sweep_counts(sorted(FIG7_MULTIGRID_P100_US)):
         node = scenario.build_node(gpu_count=max(n, 1))
         measured = multigrid_sync_heatmap(
-            node, gpu_ids=range(n), strategy=strategy, strategy_knobs=knobs
+            node, gpu_ids=range(n), strategy=strategy, strategy_knobs=knobs,
+            backend=scenario.backend,
         )
         paper = (
             FIG7_MULTIGRID_P100_US.get(n, {}) if anchors_apply(scenario) else {}
@@ -248,6 +256,7 @@ def run_fig7(scenario: Optional[Scenario] = None) -> ExperimentReport:
     report.notes.append(
         "PCIe cross-GPU phase adds ~6 us versus ~5 us on NVLink (Fig 8)"
     )
+    report.backend = scenario.backend
     return report
 
 
@@ -270,7 +279,8 @@ def run_fig8(
             FIG8_MULTIGRID_V100_US.get(n, {}) if anchors_apply(scenario) else {}
         )
         measured = multigrid_sync_heatmap(
-            node, gpu_ids=range(n), strategy=strategy, strategy_knobs=knobs
+            node, gpu_ids=range(n), strategy=strategy, strategy_knobs=knobs,
+            backend=scenario.backend,
         )
         sub = _heatmap_report("fig8", "", measured, paper, f"{gpu_name} x{n}")
         report.rows.extend(sub.rows)
@@ -282,6 +292,7 @@ def run_fig8(
         "2-5 GPUs sit on one plateau (all 1 NVLink hop from GPU 0); adding "
         "GPU 5/6/7 forces 2-hop flag traffic and the latency jump"
     )
+    report.backend = scenario.backend
     return report
 
 
@@ -365,7 +376,7 @@ def run_sync_methods(scenario: Optional[Scenario] = None) -> ExperimentReport:
         series[kind] = [
             MultiGridGroup(
                 node, b, t, gpu_ids=range(n), strategy=kind,
-                strategy_knobs=kind_knobs,
+                strategy_knobs=kind_knobs, backend=scenario.backend,
             )
             .simulate()
             .latency_per_sync_us
@@ -433,6 +444,7 @@ def run_sync_methods(scenario: Optional[Scenario] = None) -> ExperimentReport:
                 MultiGridGroup(
                     node, b, t, gpu_ids=range(n_max),
                     strategy="atomic", strategy_knobs=scan_knobs,
+                    backend=scenario.backend,
                 )
                 .simulate()
                 .latency_per_sync_us
@@ -465,4 +477,5 @@ def run_sync_methods(scenario: Optional[Scenario] = None) -> ExperimentReport:
         "run through the same MultiGridGroup scope; only the strategy "
         "(counting + release mechanism) differs"
     )
+    report.backend = scenario.backend
     return report

@@ -63,6 +63,12 @@ class ExperimentSpec:
     # Max acceptable mean |relative error| vs the paper; the CLI exits
     # nonzero when a report exceeds it.  ``None`` disables the gate.
     tolerance: Optional[float] = 0.10
+    # Execution backends this experiment's driver can route its sweeps
+    # through.  Every driver runs on the event-precise engine; only the
+    # sync-sweep drivers (uniform barrier ladders) also accept the
+    # vectorized analytic backend.  A requested backend outside this set
+    # falls back to the engine with a provenance note.
+    backends: Tuple[str, ...] = ("engine",)
 
 
 _SPECS: List[ExperimentSpec] = [
@@ -84,22 +90,26 @@ _SPECS: List[ExperimentSpec] = [
     ExperimentSpec(
         "fig5", "Grid synchronization heat-maps", run_fig5,
         default_scenarios=_PER_GPU, tags=("grid", "sync", "heatmap"),
+        backends=("engine", "analytic"),
     ),
     ExperimentSpec(
         "fig7", "Multi-grid synchronization (P100 x PCIe)", run_fig7,
         default_scenarios=(FIG7_SCENARIO,),
         tags=("multigrid", "sync", "multi-gpu", "pcie"),
+        backends=("engine", "analytic"),
     ),
     ExperimentSpec(
         "fig8", "Multi-grid synchronization (V100 DGX-1)", run_fig8,
         default_scenarios=(Scenario(gpus=("V100",)),),
         tags=("multigrid", "sync", "multi-gpu", "nvlink", "smoke"),
+        backends=("engine", "analytic"),
     ),
     ExperimentSpec(
         "fig9", "Implicit vs CPU-side vs multi-grid barriers across DGX-1",
         run_fig9,
         default_scenarios=(Scenario(gpus=("V100",)),),
         tags=("launch", "multigrid", "multi-gpu"),
+        backends=("engine", "analytic"),
     ),
     ExperimentSpec(
         "sync_methods",
@@ -107,6 +117,7 @@ _SPECS: List[ExperimentSpec] = [
         run_sync_methods,
         default_scenarios=SYNC_METHODS_SCENARIOS,
         tags=("sync", "multigrid", "multi-gpu", "strategy", "smoke"),
+        backends=("engine", "analytic"),
     ),
     ExperimentSpec(
         "table3", "Projected concurrency (Little's law)", run_table3,

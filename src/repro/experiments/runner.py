@@ -401,6 +401,17 @@ def execute_point(
                 error_kind=KIND_ERROR, attempts=attempt,
             )
         report.scenario = scenario.to_dict()
+        if scenario.backend is not None and report.backend is None:
+            # The driver ignored the backend knob — this experiment has no
+            # backend-routed sweeps.  Record the engine truthfully and say
+            # so when something faster than the engine was requested.
+            report.backend = "engine"
+            if scenario.backend != "engine":
+                report.notes.append(
+                    f"backend={scenario.backend} requested but "
+                    f"{exp_id} has no analytic-eligible sweeps; "
+                    "ran on the event-precise engine"
+                )
         if use_cache:
             # A cache-store failure (read-only dir, full disk) must not
             # turn a finished report into a failed point — or, worse,

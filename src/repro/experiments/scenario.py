@@ -113,6 +113,14 @@ class Scenario:
         kept sorted, with numeric values canonicalized
         (:func:`canonicalize_extra_value`), so equal contents always hash
         equally.
+    backend:
+        Simulation execution backend for the sync drivers (``engine``,
+        ``analytic``, ``auto`` —
+        :data:`repro.sim.backends.BACKEND_CHOICES`).  ``None`` keeps the
+        event-precise engine path, byte-identical to the pre-backend
+        pipeline; ``analytic``/``auto`` route eligible uniform barrier
+        workloads through the vectorized closed forms (see
+        ``docs/backends.md``).
     """
 
     gpus: Tuple[str, ...] = ("V100", "P100")
@@ -123,6 +131,7 @@ class Scenario:
     size_bytes: Optional[int] = None
     sync_strategy: Optional[str] = None
     extras: Tuple[Tuple[str, str], ...] = ()
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Normalize sequence fields so list/tuple inputs compare and hash
@@ -154,6 +163,14 @@ class Scenario:
                 f"unknown sync_strategy {self.sync_strategy!r}; "
                 f"available: {', '.join(STRATEGY_KINDS)}"
             )
+        if self.backend is not None:
+            from repro.sim.backends import BACKEND_CHOICES
+
+            if self.backend not in BACKEND_CHOICES:
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; "
+                    f"available: {', '.join(BACKEND_CHOICES)}"
+                )
         if self.interconnect is not None and self.interconnect not in INTERCONNECT_KINDS:
             raise ValueError(
                 f"unknown interconnect {self.interconnect!r}; "
@@ -269,6 +286,9 @@ class Scenario:
         # byte-identical to the pre-sync_strategy pipeline.
         if self.sync_strategy is not None:
             data["sync_strategy"] = self.sync_strategy
+        # Same omit-when-unset contract for the execution backend.
+        if self.backend is not None:
+            data["backend"] = self.backend
         return data
 
     @classmethod
@@ -303,6 +323,8 @@ class Scenario:
             parts.append(f"{self.size_bytes}B")
         if self.sync_strategy:
             parts.append(f"sync={self.sync_strategy}")
+        if self.backend:
+            parts.append(f"backend={self.backend}")
         parts.extend(f"{k}={v}" for k, v in self.extras)
         return ":".join(parts)
 
@@ -321,6 +343,7 @@ _SCALAR_FIELDS = {
     "interconnect": str,
     "size_bytes": int,
     "sync_strategy": str,
+    "backend": str,
 }
 # Driver-specific knobs must be namespaced so a typo in a real field name
 # ("gpu=V100") errors instead of silently riding along as an ignored extra

@@ -342,7 +342,10 @@ class GPUSpec:
     hbm: HBMCalib
     instructions: InstructionCalib
     warp_reduce: WarpReduceCalib
-    launch: Dict[str, LaunchCalib]
+    # hash=False keeps the frozen spec hashable (dicts are not); equality
+    # still compares the launch table.  Hashability lets the occupancy
+    # and latency closed forms memoize per spec.
+    launch: Dict[str, LaunchCalib] = field(hash=False)
 
     # -- convenience -----------------------------------------------------
 

@@ -78,6 +78,7 @@ def simulate_grid_sync(
     sm_count: Optional[int] = None,
     strategy=None,
     strategy_knobs=None,
+    backend=None,
 ) -> GridSyncResult:
     """Deprecated shim over :class:`repro.sync.GridGroup`.
 
@@ -101,7 +102,7 @@ def simulate_grid_sync(
         raise ValueError("n_syncs must be >= 1")
     group = GridGroup(
         spec, blocks_per_sm, threads_per_block, engine=engine, sm_count=sm_count,
-        strategy=strategy, strategy_knobs=strategy_knobs,
+        strategy=strategy, strategy_knobs=strategy_knobs, backend=backend,
     )
     return group.simulate(
         n_syncs=n_syncs, participating_blocks=participating_blocks

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Sequence
 
 from repro.sim.arch import NodeSpec
@@ -88,6 +89,7 @@ class Node:
         return f"Node({self.spec.name!r}, gpus={self.gpu_count})"
 
 
+@lru_cache(maxsize=4096)
 def multigrid_local_latency_ns(
     spec: NodeSpec, blocks_per_sm: int, threads_per_block: int
 ) -> float:
@@ -123,6 +125,20 @@ def cross_gpu_latency_ns(
     Hop counts come from the interconnect graph with the lowest-numbered
     participant as leader (CUDA uses the first device of the launch).
     """
+    return _cross_gpu_latency_cached(
+        spec, interconnect, tuple(gpu_ids), blocks_per_sm
+    )
+
+
+@lru_cache(maxsize=4096)
+def _cross_gpu_latency_cached(
+    spec: NodeSpec,
+    interconnect: Interconnect,
+    gpu_ids: tuple,
+    blocks_per_sm: int,
+) -> float:
+    # Interconnect hashes by identity, which is the memoization we want:
+    # a Node builds its graph once and every group shares it.
     n = len(gpu_ids)
     if n <= 1:
         return 0.0
@@ -148,6 +164,7 @@ def simulate_multigrid_sync(
     engine: Optional[Engine] = None,
     strategy=None,
     strategy_knobs=None,
+    backend=None,
 ) -> MultiGridSyncResult:
     """Deprecated shim over :class:`repro.sync.MultiGridGroup`.
 
@@ -176,5 +193,6 @@ def simulate_multigrid_sync(
         strategy=strategy,
         strategy_knobs=strategy_knobs,
         full_local_participation=full_local_participation,
+        backend=backend,
     )
     return group.simulate(n_syncs=n_syncs, participating_gpus=participating_gpus)

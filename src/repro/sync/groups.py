@@ -158,6 +158,7 @@ class WarpGroup(BarrierScope):
         engine: Optional[Engine] = None,
         strategy: StrategyArg = None,
         strategy_knobs: Optional[Mapping[str, float]] = None,
+        backend: Optional[str] = None,
     ):
         if not (1 <= size <= spec.warp_size):
             raise ValueError(f"warp group size must be in [1, {spec.warp_size}]")
@@ -170,6 +171,7 @@ class WarpGroup(BarrierScope):
             engine,
             _resolve_strategy(self, strategy, strategy_knobs)
             or self._build_strategy("cooperative", {}),
+            backend=backend,
         )
 
     def _build_strategy(self, kind: str, knobs: Mapping[str, float]):
@@ -228,6 +230,7 @@ class BlockGroup(BarrierScope):
         engine: Optional[Engine] = None,
         strategy: StrategyArg = None,
         strategy_knobs: Optional[Mapping[str, float]] = None,
+        backend: Optional[str] = None,
     ):
         if warps_per_block < 1:
             raise ValueError("a block has at least one warp")
@@ -242,6 +245,7 @@ class BlockGroup(BarrierScope):
             engine,
             _resolve_strategy(self, strategy, strategy_knobs)
             or self._build_strategy("cooperative", {}),
+            backend=backend,
         )
 
     def _build_strategy(self, kind: str, knobs: Mapping[str, float]):
@@ -301,6 +305,7 @@ class GridGroup(BarrierScope):
         sm_count: Optional[int] = None,
         strategy: StrategyArg = None,
         strategy_knobs: Optional[Mapping[str, float]] = None,
+        backend: Optional[str] = None,
     ):
         if blocks_per_sm < 1:
             raise ValueError("blocks_per_sm must be >= 1")
@@ -324,6 +329,7 @@ class GridGroup(BarrierScope):
             engine,
             _resolve_strategy(self, strategy, strategy_knobs)
             or self._build_strategy("cooperative", {}),
+            backend=backend,
         )
         self._release_ports = [
             Resource(self.engine, capacity=1, name=f"sm{j}-release")
@@ -464,7 +470,9 @@ class GridGroup(BarrierScope):
         )
         if not (0 < participants <= self.total_blocks):
             raise ValueError("participating_blocks must be in (0, total_blocks]")
-        run = self.run_rounds(n_syncs, members=range(participants))
+        run = self.run_rounds(
+            n_syncs, members=range(participants), collect_trace=False
+        )
         return GridSyncResult(
             blocks_per_sm=self.blocks_per_sm,
             threads_per_block=self.threads_per_block,
@@ -503,6 +511,7 @@ class MultiGridGroup(BarrierScope):
         strategy: StrategyArg = None,
         strategy_knobs: Optional[Mapping[str, float]] = None,
         full_local_participation: bool = True,
+        backend: Optional[str] = None,
     ):
         from repro.sim.node import cross_gpu_latency_ns, multigrid_local_latency_ns
 
@@ -530,6 +539,7 @@ class MultiGridGroup(BarrierScope):
             engine,
             _resolve_strategy(self, strategy, strategy_knobs)
             or self._build_strategy("cooperative", {}),
+            backend=backend,
         )
 
     def _build_strategy(self, kind: str, knobs: Mapping[str, float]):
@@ -618,7 +628,9 @@ class MultiGridGroup(BarrierScope):
         )
         if not callers <= arrivals_expected:
             raise ValueError("participating_gpus must be a subset of gpu_ids")
-        run = self.run_rounds(n_syncs, members=sorted(callers))
+        run = self.run_rounds(
+            n_syncs, members=sorted(callers), collect_trace=False
+        )
         return MultiGridSyncResult(
             gpu_ids=self.gpu_ids,
             blocks_per_sm=self.blocks_per_sm,
@@ -651,6 +663,7 @@ class HostBarrierGroup(BarrierScope):
         engine: Optional[Engine] = None,
         strategy: StrategyArg = None,
         strategy_knobs: Optional[Mapping[str, float]] = None,
+        backend: Optional[str] = None,
     ):
         if n_threads < 1:
             raise ValueError("team needs at least one thread")
@@ -660,6 +673,7 @@ class HostBarrierGroup(BarrierScope):
             engine,
             _resolve_strategy(self, strategy, strategy_knobs)
             or self._build_strategy("cpu", {}),
+            backend=backend,
         )
         self._counters: dict = {}
 

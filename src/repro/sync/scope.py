@@ -115,10 +115,16 @@ class BarrierScope:
     #: Process-name format for :meth:`run_rounds` members.
     member_name = "member{}"
 
-    def __init__(self, engine: Optional[Engine], strategy: BarrierStrategy):
+    def __init__(
+        self,
+        engine: Optional[Engine],
+        strategy: BarrierStrategy,
+        backend: Optional[str] = None,
+    ):
         self.engine = engine or Engine()
         self.strategy = strategy
         self.strategy.bind(self.engine)
+        self.backend = backend
         self._rounds: Dict[int, Round] = {}
 
     # -- round state -----------------------------------------------------
@@ -178,9 +184,18 @@ class BarrierScope:
         self,
         n_syncs: int = 1,
         members: Optional[Iterable[int]] = None,
+        backend: Optional[str] = None,
+        collect_trace: bool = True,
     ) -> ScopeRun:
         """Drive ``n_syncs`` barrier rounds across ``members`` (default:
         all ``size`` participants) and return the release trace.
+
+        ``backend`` overrides the scope's construction-time backend
+        choice for this run (``"engine"``, ``"analytic"``, ``"auto"``;
+        ``None`` keeps the engine path with zero dispatch overhead).
+        ``collect_trace=False`` lets the analytic backend skip building
+        the per-member release map when only ``total_ns`` is wanted; the
+        engine records the trace as a side effect either way.
 
         A strict subset of participants leaves the arrival counter short
         and the engine raises
@@ -196,6 +211,19 @@ class BarrierScope:
                 "create a fresh group per simulation"
             )
         ids = tuple(members) if members is not None else tuple(range(self.size))
+        choice = backend if backend is not None else self.backend
+        if choice is None or choice == "engine":
+            return self._run_rounds_engine(n_syncs, ids)
+        from repro.sim.backends import dispatch
+
+        return dispatch(self, n_syncs, ids, choice, collect_trace)
+
+    def _run_rounds_engine(
+        self, n_syncs: int, ids: Tuple[int, ...]
+    ) -> ScopeRun:
+        """The event-precise driver: one process per member on the shared
+        engine.  Backends call this; it is the pre-backend code path,
+        unchanged."""
         trace: Dict[Tuple[int, int], float] = {}
         t0 = self.engine.now
         for m in ids:

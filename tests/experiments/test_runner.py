@@ -240,3 +240,65 @@ class TestCanonicalExtrasShareCache:
         second = runner.execute_point("table4", b, cache_dir=cache_dir)
         assert not first.cached and second.cached
         assert len(list(cache_dir.glob("table4-*.json"))) == 1
+
+
+class TestCodeVersionMemoized:
+    def test_source_walk_happens_at_most_once_per_process(self, monkeypatch):
+        """The source-tree hash is expensive (every repro/**/*.py); the
+        runner must compute it once per process, not once per entry."""
+        from pathlib import Path
+
+        monkeypatch.setattr(runner, "_CODE_VERSION", None)
+        walks = {"n": 0}
+        real_rglob = Path.rglob
+
+        def counting_rglob(self, pattern):
+            walks["n"] += 1
+            return real_rglob(self, pattern)
+
+        monkeypatch.setattr(Path, "rglob", counting_rglob)
+        v1 = runner.code_version()
+        v2 = runner.code_version()
+        runner._cache_path(Path("/tmp/c"), "table4", Scenario(gpus=("V100",)))
+        runner._cache_path(Path("/tmp/c"), "table4", Scenario(gpus=("P100",)))
+        assert v1 == v2
+        assert walks["n"] == 1
+
+
+class TestBackendCacheIsolation:
+    """A backend choice must never collide with another backend's cache
+    entry: the backend rides in the scenario's canonical form, so it is
+    part of the content-addressed key."""
+
+    def test_backend_scenarios_get_distinct_cache_entries(self, cache_dir):
+        base = Scenario(gpus=("V100",))
+        ana = Scenario(gpus=("V100",), backend="analytic")
+        eng = Scenario(gpus=("V100",), backend="engine")
+        paths = {
+            runner._cache_path(cache_dir, "fig8", s) for s in (base, ana, eng)
+        }
+        assert len(paths) == 3
+
+    def test_analytic_run_does_not_poison_default_cache(self, cache_dir):
+        ana = runner.execute_point(
+            "fig8", Scenario(gpus=("V100",), backend="analytic"),
+            cache_dir=cache_dir,
+        )
+        default = runner.execute_point(
+            "fig8", Scenario(gpus=("V100",)), cache_dir=cache_dir
+        )
+        assert ana.ok and default.ok
+        assert not default.cached  # computed fresh, not served from analytic
+        assert ana.report.backend == "analytic"
+        assert default.report.backend is None
+        # Same physics either way: the reports' rows agree bit-for-bit.
+        assert ana.report.rows == default.report.rows
+
+    def test_engine_only_experiment_notes_fallback(self, cache_dir):
+        res = runner.execute_point(
+            "table4", Scenario(gpus=("V100",), backend="analytic"),
+            cache_dir=cache_dir,
+        )
+        assert res.ok
+        assert res.report.backend == "engine"
+        assert any("no analytic-eligible sweeps" in n for n in res.report.notes)
