@@ -15,11 +15,10 @@ import dataclasses
 import numpy as np
 import pytest
 
-from benchmarks.conftest import attach_report
 from repro.experiments.paper_data import FIG5_GRID_SYNC_US, FIG8_MULTIGRID_V100_US
 from repro.sim.arch import DGX1_V100, V100
-from repro.sync import GridGroup
 from repro.sim.node import Node, cross_gpu_latency_ns
+from repro.sync import GridGroup
 
 
 def _fig5_mean_err(spec) -> float:

@@ -1,0 +1,103 @@
+"""Benchmark E-SAN: sanitizer overhead guards.
+
+Two contracts, pinned next to the numbers they protect:
+
+1. **Zero cost when disabled.**  With no monitor installed the hooks are
+   one module-attribute load + ``is None`` test per call site, and the
+   default GridGroup stays on the fused ``_member_proc`` fast path — the
+   sanitized-off barrier loop must be indistinguishable from the
+   pre-sanitizer engine (``test_bench_engine_sync_grid_group`` is the
+   same workload; both land in the ``--bench-json`` record).
+
+2. **Observational purity when enabled.**  Monitoring must not change
+   what the simulation computes: the instrumented composable path and
+   the unmonitored fused path produce byte-identical timing results.
+   The sanitizer is a tracer, never an actor.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_timing
+from repro.sanitize import SanitizerSession
+from repro.sanitize import events as ev
+from repro.sim.arch import V100
+from repro.sync import GridGroup
+
+_N_SYNCS = 4
+
+
+def _grid_sync(n_syncs: int = _N_SYNCS):
+    group = GridGroup(V100, blocks_per_sm=2, threads_per_block=256)
+    result = group.simulate(n_syncs=n_syncs)
+    return result, group.engine.event_count
+
+
+def test_bench_sanitize_off_overhead(request, benchmark):
+    """Sanitizer-off grid barrier rounds (events/s entry).
+
+    Guard: no monitor may be installed by default, and the disabled
+    hooks must leave the default strategy on the fused fast path — the
+    event count matches the pre-sanitizer bench exactly.
+    """
+    assert ev.MONITOR is None, "a sanitizer monitor leaked into the bench"
+
+    result, events = _grid_sync()
+    assert result.total_ns > 0
+
+    (_, bench_events) = benchmark(_grid_sync)
+    assert bench_events == events
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        benchmark.extra_info["events"] = bench_events
+        mean = stats.stats.mean
+        if mean:
+            benchmark.extra_info["events_per_sec"] = round(bench_events / mean)
+    record_timing(request, benchmark, "sanitize_grid[off]", "engine", bench_events)
+
+
+def test_bench_sanitize_full_observational_purity(request, benchmark):
+    """Monitored grid barrier rounds (events/s entry).
+
+    Guard: a full-mode session must not perturb the simulated clock —
+    the monitored run's timing result equals the unmonitored one, and
+    the stream actually recorded the barrier protocol.
+    """
+    baseline, _ = _grid_sync()
+
+    def monitored():
+        with SanitizerSession("full") as session:
+            result, events = _grid_sync()
+        return result, events, session
+
+    result, events, session = benchmark(monitored)
+    assert result.total_ns == baseline.total_ns
+    assert result.total_blocks == baseline.total_blocks
+    assert session.findings() == []
+    arrivals = session.monitor.events_of("arrive")
+    assert len(arrivals) == baseline.total_blocks * _N_SYNCS
+    assert ev.MONITOR is None  # session unwound
+    record_timing(request, benchmark, "sanitize_grid[full]", "engine", events)
+
+
+def test_bench_sanitize_partial_diagnosis(request, benchmark):
+    """Time-to-diagnosis for the partial-participation pitfall.
+
+    The pre-sanitizer pipeline hung here; now the cost of the full
+    diagnosis (DeadlockError + divergence findings) is itself a tracked
+    number.
+    """
+    from repro.sim.engine import DeadlockError
+
+    def diagnose():
+        with SanitizerSession("synccheck") as session:
+            group = GridGroup(V100, 1, 64, sm_count=4)
+            try:
+                group.simulate(participating_blocks=2)
+            except DeadlockError:
+                pass
+        return session.findings()
+
+    findings = benchmark(diagnose)
+    rules = {f.rule for f in findings}
+    assert "SYNC-DIVERGENCE" in rules and "DEADLOCK-BLAME" in rules
+    record_timing(request, benchmark, "sanitize_pitfall[synccheck]", "engine", None)

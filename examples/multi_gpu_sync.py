@@ -16,8 +16,8 @@ Run:  python examples/multi_gpu_sync.py
 from __future__ import annotations
 
 from repro import DGX1_V100, KernelEnv, Node, this_multi_grid
-from repro.microbench import cpu_side_barrier_overhead, measure_launch_overhead
 from repro.cudasim import CudaRuntime
+from repro.microbench import cpu_side_barrier_overhead, measure_launch_overhead
 from repro.reduction import make_input, reduce_cpu_barrier, reduce_multigrid
 from repro.util.units import GB
 from repro.viz import render_table

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps import stencil_reference, stencil_multi_kernel, stencil_persistent
+from repro.apps import stencil_multi_kernel, stencil_persistent, stencil_reference
 from repro.apps.stencil import stencil_strategy_crossover
 from repro.sim.arch import V100
 from repro.viz import render_table

@@ -13,12 +13,12 @@ from __future__ import annotations
 
 from repro import (
     DGX1_V100,
+    V100,
     CudaRuntime,
     KernelEnv,
+    LaunchConfig,
     Node,
     NullKernel,
-    LaunchConfig,
-    V100,
     coalesced_threads,
     this_grid,
     this_multi_grid,

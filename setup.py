@@ -25,6 +25,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-experiments = repro.experiments.cli:main",
+            "repro-lint = repro.sanitize.lint:main",
         ],
     },
 )

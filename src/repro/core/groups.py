@@ -26,22 +26,21 @@ Hierarchy and constraints follow the paper:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+from repro import sync as engine_sync
 from repro.cudasim import instructions as ins
 from repro.cudasim.errors import CooperativeLaunchTooLarge, CudaError, InvalidConfiguration
-from repro.sim.arch import GPUSpec, NodeSpec
+from repro.sim.arch import GPUSpec
 from repro.sim.device import grid_sync_latency_ns
 from repro.sim.node import (
     Node,
     cross_gpu_latency_ns,
     multigrid_local_latency_ns,
 )
-from repro.sim.occupancy import blocks_per_sm as occ_blocks_per_sm
 from repro.sim.occupancy import max_cooperative_blocks
 from repro.sim.sm import block_sync_latency_cycles
-from repro import sync as engine_sync
 
 __all__ = [
     "KernelEnv",

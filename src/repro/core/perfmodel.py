@@ -21,7 +21,7 @@ reproduces Table IV.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.microbench.intra_sm import measure_shared_bandwidth
 from repro.sim.arch import GPUSpec

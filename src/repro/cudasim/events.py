@@ -18,7 +18,7 @@ Typical host code::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.cudasim.errors import CudaError

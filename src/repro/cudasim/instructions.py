@@ -15,8 +15,7 @@ Instructions that produce a value deliver it as the result of the ``yield``::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 __all__ = [
     "Instruction",

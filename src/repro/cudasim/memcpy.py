@@ -9,8 +9,7 @@ model (peer) or a calibrated host-link bandwidth (H2D/D2H).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator
 
 import numpy as np
 

@@ -25,11 +25,11 @@ Three launch functions mirror CUDA's:
 
 from __future__ import annotations
 
-from typing import Generator, Iterable, List, Optional, Sequence
+from typing import Generator, List, Optional, Sequence
 
 from repro.cudasim.errors import CooperativeLaunchTooLarge, InvalidDevice
 from repro.cudasim.kernel import Kernel, LaunchConfig
-from repro.cudasim.stream import LaunchRecord, Stream
+from repro.cudasim.stream import Stream
 from repro.sim.arch import GPUSpec, NodeSpec
 from repro.sim.clock import HostClock
 from repro.sim.device import Device
@@ -72,7 +72,9 @@ class CudaRuntime:
         return cls(Node(node_spec, gpu_count=1), **kw)
 
     @classmethod
-    def for_node(cls, node_spec: NodeSpec, gpu_count: Optional[int] = None, **kw) -> "CudaRuntime":
+    def for_node(
+        cls, node_spec: NodeSpec, gpu_count: Optional[int] = None, **kw
+    ) -> "CudaRuntime":
         """Runtime over a multi-GPU node (DGX-1, dual-P100, ...)."""
         return cls(Node(node_spec, gpu_count=gpu_count), **kw)
 

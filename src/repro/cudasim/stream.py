@@ -19,7 +19,7 @@ total latency"), while kernels longer than ~5 µs cost only ``gap`` extra
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cudasim.kernel import Kernel, LaunchConfig
@@ -126,4 +126,7 @@ class Stream:
         return [r.completion for r in self.records if not r.completion.fired]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Stream(dev={self.device.index}, idx={self.index}, launches={len(self.records)})"
+        return (
+            f"Stream(dev={self.device.index}, idx={self.index}, "
+            f"launches={len(self.records)})"
+        )

@@ -80,6 +80,10 @@ class ExperimentReport:
     notes: List[str] = field(default_factory=list)
     scenario: Optional[Dict[str, Any]] = None
     backend: Optional[str] = None
+    #: Sanitizer payload when the run was sanitized (mode, event counts,
+    #: findings — :meth:`repro.sanitize.SanitizerSession.summary`); ``None``
+    #: (omitted from JSON) on unsanitized runs.
+    sanitizer: Optional[Dict[str, Any]] = None
 
     def add(
         self,
@@ -122,6 +126,9 @@ class ExperimentReport:
         # to the pre-backend pipeline (same contract as scenario knobs).
         if self.backend is not None:
             data["backend"] = self.backend
+        # Same omit-when-unset contract for sanitizer findings.
+        if self.sanitizer is not None:
+            data["sanitizer"] = self.sanitizer
         return data
 
     @classmethod
@@ -134,6 +141,7 @@ class ExperimentReport:
             notes=list(data.get("notes", ())),
             scenario=data.get("scenario"),
             backend=data.get("backend"),
+            sanitizer=data.get("sanitizer"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -172,6 +180,18 @@ class ExperimentReport:
             parts.append(artifact)
         for note in self.notes:
             parts.append(f"note: {note}")
+        if self.sanitizer is not None:
+            findings = self.sanitizer.get("findings", [])
+            parts.append(
+                f"sanitizer[{self.sanitizer.get('mode', '?')}]: "
+                f"{len(findings)} finding(s), "
+                f"{self.sanitizer.get('events', 0)} events"
+            )
+            for f in findings:
+                parts.append(
+                    f"  [{f.get('rule', '?')}] {f.get('severity', '?')}: "
+                    f"{f.get('message', '')}"
+                )
         if self.mean_rel_err is not None:
             parts.append(
                 f"summary: mean |err| {self.mean_rel_err:.1%}, "
@@ -203,4 +223,14 @@ def merge_reports(
     backends = {rep.backend for rep in reports if rep.backend is not None}
     if backends:
         merged.backend = backends.pop() if len(backends) == 1 else "mixed"
+    sanitized = [rep.sanitizer for rep in reports if rep.sanitizer is not None]
+    if sanitized:
+        modes = {s.get("mode") for s in sanitized}
+        merged.sanitizer = {
+            "mode": modes.pop() if len(modes) == 1 else "mixed",
+            "events": sum(s.get("events", 0) for s in sanitized),
+            "dropped": sum(s.get("dropped", 0) for s in sanitized),
+            "scopes": sum(s.get("scopes", 0) for s in sanitized),
+            "findings": [f for s in sanitized for f in s.get("findings", ())],
+        }
     return merged

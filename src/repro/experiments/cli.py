@@ -30,6 +30,7 @@ from repro.experiments.journal import (
 )
 from repro.experiments.registry import EXPERIMENTS, filter_by_tags, get_spec
 from repro.experiments.scenario import apply_overrides
+from repro.sanitize import SANITIZE_MODES
 from repro.sim.backends import BACKEND_CHOICES
 
 __all__ = ["main"]
@@ -108,6 +109,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--sanitize", default=None, metavar="MODE",
+        help=(
+            "dynamic sync-checker mode for every selected experiment: off "
+            "(default), synccheck (barrier-protocol + deadlock blame), "
+            "racecheck (shared-memory happens-before), or full (both); "
+            "shorthand for --scenario sanitize=MODE (see docs/sanitize.md)"
+        ),
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the on-disk result cache (always recompute)",
     )
@@ -165,6 +175,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"available: {', '.join(BACKEND_CHOICES)}", file=sys.stderr)
         return 2
 
+    if args.sanitize is not None and args.sanitize not in SANITIZE_MODES:
+        print(f"unknown sanitize mode: {args.sanitize}", file=sys.stderr)
+        print(f"available: {', '.join(SANITIZE_MODES)}", file=sys.stderr)
+        return 2
+
     # Tag filter: keep experiments carrying any requested tag.  This is
     # how CI selects its smoke subset (--tags smoke) without hard-coding
     # experiment names.
@@ -197,11 +212,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         # point selection would silently run something else than what is
         # being resumed, and without the cache the finished points'
         # reports are unrecoverable.
-        if args.ids or args.scenario or tags or args.backend is not None:
+        if (
+            args.ids
+            or args.scenario
+            or tags
+            or args.backend is not None
+            or args.sanitize is not None
+        ):
             print(
                 "--resume takes its experiments and scenarios from the "
-                "journal; drop the ids / --scenario / --backend / --tags "
-                "arguments",
+                "journal; drop the ids / --scenario / --backend / "
+                "--sanitize / --tags arguments",
                 file=sys.stderr,
             )
             return 2
@@ -236,6 +257,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             # --backend is sugar for a scenario override so it reaches the
             # cache key, provenance and every driver through one path.
             overrides.append(f"backend={args.backend}")
+        if args.sanitize is not None:
+            # --sanitize rides the same scenario-override path, so a
+            # sanitized run gets its own cache entries and provenance.
+            overrides.append(f"sanitize={args.sanitize}")
         points = []
         try:
             for exp_id in ids:

@@ -12,7 +12,7 @@ from typing import Optional
 from repro.experiments.base import ExperimentReport
 from repro.experiments.paper_data import TABLE5_CYCLES, TABLE5_INCORRECT, TABLE6_GBPS
 from repro.experiments.scenario import PAPER_SCENARIO, Scenario
-from repro.reduction.device import latency_vs_size, bandwidth_table
+from repro.reduction.device import bandwidth_table, latency_vs_size
 from repro.reduction.multigpu import throughput_vs_gpu_count
 from repro.reduction.warp import table5_rows
 from repro.util.units import GB

@@ -23,6 +23,7 @@ from repro.experiments.exp_launch import TABLE1_SCENARIO, run_fig9, run_table1
 from repro.experiments.exp_model import run_table3, run_table4, run_validation
 from repro.experiments.exp_pitfalls import run_deadlock, run_fig18
 from repro.experiments.exp_reduction import run_fig15, run_fig16, run_table5, run_table6
+from repro.experiments.exp_sanitize import run_pitfalls_sanitized
 from repro.experiments.exp_sync import (
     FIG7_SCENARIO,
     SYNC_METHODS_SCENARIOS,
@@ -161,6 +162,15 @@ _SPECS: List[ExperimentSpec] = [
     ExperimentSpec(
         "deadlock", "Partial-group synchronization outcomes", run_deadlock,
         default_scenarios=_PER_GPU, tags=("pitfall", "deadlock", "smoke"),
+    ),
+    ExperimentSpec(
+        "pitfalls_sanitized",
+        "Sync pitfalls diagnosed by repro.sanitize",
+        run_pitfalls_sanitized,
+        default_scenarios=_PER_GPU,
+        tags=("pitfall", "sanitizer", "smoke"),
+        # Boolean did-the-checker-fire rows; no published numeric anchor.
+        tolerance=None,
     ),
     ExperimentSpec(
         "validation", "Measurement-method cross-validation (Section IX-D)",

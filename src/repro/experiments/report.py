@@ -10,7 +10,6 @@ document built from cached reports is byte-identical to a fresh one.
 
 from __future__ import annotations
 
-import sys
 import time
 from pathlib import Path
 from typing import List, Optional

@@ -48,7 +48,7 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -324,7 +324,9 @@ class _CacheClaim:
             pass
 
 
-def _await_claimed_result(path: Path, claim: _CacheClaim) -> Tuple[Optional[ExperimentReport], bool]:
+def _await_claimed_result(
+    path: Path, claim: _CacheClaim
+) -> Tuple[Optional[ExperimentReport], bool]:
     """Wait for a rival claimant to publish; returns (report, we_claimed).
 
     Polls until the result appears, the claim goes stale (dead owner ->
@@ -351,6 +353,40 @@ def _await_claimed_result(path: Path, claim: _CacheClaim) -> Tuple[Optional[Expe
 
 
 # -- the single entry path ----------------------------------------------
+
+
+def _run_driver(spec: Any, scenario: Scenario) -> ExperimentReport:
+    """Invoke the driver, under a sanitizer session when the scenario asks.
+
+    ``scenario.sanitize`` installs a :class:`repro.sanitize.SanitizerSession`
+    around the driver call, so every instrumented engine/scope/memory hook
+    inside the driver's simulations records into one stream; the session's
+    findings ride on the report (``report.sanitizer``) into ``--json`` and
+    the rendered output.  A :class:`~repro.sim.engine.DeadlockError`
+    escaping a sanitized driver is re-raised with the findings appended to
+    its message — the captured traceback then carries the diagnosis
+    (which members diverged, at which round, in which scope) instead of
+    just the list of hung processes.
+    """
+    if scenario.sanitize is None:
+        return spec.driver(scenario)
+    from repro.sanitize import SanitizerSession, render_findings
+    from repro.sim.engine import DeadlockError
+
+    with SanitizerSession(scenario.sanitize) as session:
+        try:
+            report = spec.driver(scenario)
+        except DeadlockError as exc:
+            lines = render_findings(session.findings())
+            if lines:
+                exc.args = (
+                    str(exc)
+                    + "\nsanitizer findings:\n"
+                    + "\n".join(f"  {line}" for line in lines),
+                )
+            raise
+    report.sanitizer = session.summary()
+    return report
 
 
 def execute_point(
@@ -389,7 +425,7 @@ def execute_point(
     try:
         try:
             faults.apply_driver_faults(exp_id, desc, attempt)
-            report = spec.driver(scenario)
+            report = _run_driver(spec, scenario)
         except TransientPointError:
             return PointResult(
                 exp_id, scenario, error=traceback.format_exc(),

@@ -121,6 +121,12 @@ class Scenario:
         pipeline; ``analytic``/``auto`` route eligible uniform barrier
         workloads through the vectorized closed forms (see
         ``docs/backends.md``).
+    sanitize:
+        Dynamic sync-checker mode for the run (``synccheck``, ``racecheck``,
+        ``full`` — :data:`repro.sanitize.SANITIZE_MODES`).  ``None`` (and
+        its spelled-out alias ``off``, which normalizes to ``None``) keeps
+        the zero-cost uninstrumented path, byte-identical to the
+        pre-sanitizer pipeline; see ``docs/sanitize.md``.
     """
 
     gpus: Tuple[str, ...] = ("V100", "P100")
@@ -132,6 +138,7 @@ class Scenario:
     sync_strategy: Optional[str] = None
     extras: Tuple[Tuple[str, str], ...] = ()
     backend: Optional[str] = None
+    sanitize: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Normalize sequence fields so list/tuple inputs compare and hash
@@ -170,6 +177,19 @@ class Scenario:
                 raise ValueError(
                     f"unknown backend {self.backend!r}; "
                     f"available: {', '.join(BACKEND_CHOICES)}"
+                )
+        if self.sanitize is not None:
+            from repro.sanitize import SANITIZE_MODES
+
+            if self.sanitize == "off":
+                # "off" is the CLI spelling of the default; normalizing it
+                # to None keeps the canonical form (and hence the content
+                # hash) identical to a scenario that never mentioned it.
+                object.__setattr__(self, "sanitize", None)
+            elif self.sanitize not in SANITIZE_MODES:
+                raise ValueError(
+                    f"unknown sanitize mode {self.sanitize!r}; "
+                    f"available: {', '.join(SANITIZE_MODES)}"
                 )
         if self.interconnect is not None and self.interconnect not in INTERCONNECT_KINDS:
             raise ValueError(
@@ -289,6 +309,9 @@ class Scenario:
         # Same omit-when-unset contract for the execution backend.
         if self.backend is not None:
             data["backend"] = self.backend
+        # And for the sanitizer mode ("off" already normalized to None).
+        if self.sanitize is not None:
+            data["sanitize"] = self.sanitize
         return data
 
     @classmethod
@@ -325,6 +348,8 @@ class Scenario:
             parts.append(f"sync={self.sync_strategy}")
         if self.backend:
             parts.append(f"backend={self.backend}")
+        if self.sanitize:
+            parts.append(f"sanitize={self.sanitize}")
         parts.extend(f"{k}={v}" for k, v in self.extras)
         return ":".join(parts)
 
@@ -344,6 +369,7 @@ _SCALAR_FIELDS = {
     "size_bytes": int,
     "sync_strategy": str,
     "backend": str,
+    "sanitize": str,
 }
 # Driver-specific knobs must be namespaced so a typo in a real field name
 # ("gpu=V100") errors instead of silently riding along as an ignored extra

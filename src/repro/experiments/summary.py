@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.characterize import block_sync_scan, table2_rows
+from repro.core.characterize import block_sync_scan
 from repro.core.pitfalls import partial_sync_deadlock_matrix, warp_sync_blocking_trace
 from repro.experiments.base import ExperimentReport
 from repro.experiments.scenario import PAPER_SCENARIO, Scenario

@@ -9,8 +9,8 @@ collects ``samples`` repetitions and summarizes them.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, List, Sequence
+from dataclasses import dataclass
+from typing import Callable
 
 __all__ = ["MeasurementConfig", "Measurement", "collect"]
 

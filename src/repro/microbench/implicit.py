@@ -16,12 +16,12 @@ Two measurements, both host-clock based:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, List, Optional, Sequence
+from typing import Generator, Optional, Sequence
 
 from repro.cudasim.kernel import LaunchConfig, NullKernel, SleepKernel
 from repro.cudasim.runtime import CudaRuntime
 from repro.microbench.harness import Measurement, MeasurementConfig, collect
-from repro.sim.arch import GPUSpec, NodeSpec
+from repro.sim.arch import NodeSpec
 
 __all__ = [
     "LaunchOverheadResult",

@@ -19,8 +19,9 @@ The module also provides the paper's two validation protocols:
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from typing import Callable, Generator
 
+from repro.cudasim import instructions as ins
 from repro.cudasim.kernel import LaunchConfig, WorkKernel
 from repro.cudasim.runtime import CudaRuntime
 from repro.microbench.harness import Measurement, MeasurementConfig, collect
@@ -28,7 +29,6 @@ from repro.microbench.stats import DerivedLatency, derive_instruction_latency
 from repro.sim.arch import GPUSpec
 from repro.sim.exec_thread import ThreadCtx, WarpExecutor
 from repro.sync import BlockGroup, GridGroup
-from repro.cudasim import instructions as ins
 
 __all__ = [
     "measure_kernel_total_latency_host",

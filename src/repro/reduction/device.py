@@ -22,7 +22,6 @@ either way.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Sequence, Union
 

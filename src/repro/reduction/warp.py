@@ -36,7 +36,6 @@ import numpy as np
 from repro.cudasim import instructions as ins
 from repro.sim.arch import GPUSpec
 from repro.sim.exec_thread import ThreadCtx, WarpExecutor
-from repro.sim.memory import SharedMemory
 
 __all__ = [
     "WARP_REDUCE_METHODS",

@@ -1,0 +1,70 @@
+"""``repro.sanitize`` — a compute-sanitizer-style sync checker.
+
+Two layers, mirroring ``compute-sanitizer``'s tool split:
+
+* **Dynamic** (:mod:`~repro.sanitize.events`, :mod:`~repro.sanitize.hb`,
+  :mod:`~repro.sanitize.checker`): instrument the engine, barrier scopes
+  and shared memory into a structured sync-event stream; run vector-clock
+  happens-before analysis plus barrier-protocol checks over it.  Enabled
+  per run via ``repro-experiments run --sanitize {off,synccheck,racecheck,
+  full}`` (or a ``SanitizerSession`` directly); strictly zero-cost when
+  off.
+* **Static** (:mod:`~repro.sanitize.lint`, console script ``repro-lint``):
+  an AST linter for sync-API misuse in drivers and simulator code, with a
+  committed baseline so CI fails only on *new* violations.
+
+The whole package is stdlib-only at import time: the instrumented modules
+(``repro.sim.engine`` among them) import it during ``repro``'s own package
+initialization, so importing anything from the simulator here would cycle.
+See ``docs/sanitize.md`` for the event schema and rule catalog.
+"""
+
+from repro.sanitize.checker import (
+    CHECK_MODES,
+    Finding,
+    RULE_ANCHORS,
+    SANITIZE_MODES,
+    SanitizerSession,
+    check_deadlock,
+    check_races,
+    check_sync,
+    render_findings,
+    run_checks,
+    session,
+)
+from repro.sanitize.events import (
+    EVENT_KINDS,
+    MONITOR,
+    ScopeInfo,
+    SyncEvent,
+    SyncMonitor,
+    current_monitor,
+    install,
+    uninstall,
+)
+from repro.sanitize.hb import Race, VectorClock, find_races
+
+__all__ = [
+    "SANITIZE_MODES",
+    "CHECK_MODES",
+    "Finding",
+    "RULE_ANCHORS",
+    "SanitizerSession",
+    "session",
+    "check_sync",
+    "check_races",
+    "check_deadlock",
+    "run_checks",
+    "render_findings",
+    "EVENT_KINDS",
+    "MONITOR",
+    "SyncEvent",
+    "ScopeInfo",
+    "SyncMonitor",
+    "install",
+    "uninstall",
+    "current_monitor",
+    "Race",
+    "VectorClock",
+    "find_races",
+]

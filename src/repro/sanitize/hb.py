@@ -1,0 +1,185 @@
+"""Vector-clock happens-before analysis over the sync-event stream.
+
+The racecheck half of the sanitizer: replay the recorded shared-memory
+accesses (``store``/``load``/``commit`` events) and flag access pairs
+that are *unordered* under the happens-before relation the simulator's
+synchronization actually establishes.
+
+The model mirrors the paper's Table V visibility semantics
+(:class:`repro.sim.memory.SharedMemory`):
+
+* each accessing thread of a memory is an *actor* with a
+  :class:`VectorClock`;
+* a ``commit`` (the effect of any barrier/fence) is the only ordering
+  edge between threads: it joins the committing threads' clocks into the
+  memory's *commit clock*, and every later access by any thread joins
+  that commit clock first — so accesses separated by a commit are
+  ordered, accesses in the same inter-commit epoch are not;
+* two accesses to the same slot by different threads, at least one a
+  store, with unordered clocks, are a race.  ``volatile`` accesses are
+  exempt: the pending/committed model gives them immediate visibility
+  (the mechanism behind the paper's correct no-sync volatile reduction),
+  so a volatile pair is synchronized by declaration.
+
+This is deliberately the textbook vector-clock detector (FastTrack
+without the epoch optimization): the streams are bounded by the
+sanitizer's event cap, and clarity wins over constant factors here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["VectorClock", "RaceAccess", "Race", "find_races"]
+
+
+class VectorClock:
+    """A map actor -> counter with the standard tick/join/leq algebra."""
+
+    __slots__ = ("c",)
+
+    def __init__(self, c: Optional[Dict[Any, int]] = None):
+        self.c: Dict[Any, int] = dict(c) if c else {}
+
+    def tick(self, actor: Any) -> None:
+        self.c[actor] = self.c.get(actor, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        mine = self.c
+        for actor, n in other.c.items():
+            if n > mine.get(actor, 0):
+                mine[actor] = n
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.c)
+
+    def leq(self, other: "VectorClock") -> bool:
+        """True when every component of self is <= the other's (self
+        happened-before-or-equals other)."""
+        theirs = other.c
+        for actor, n in self.c.items():
+            if n > theirs.get(actor, 0):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VectorClock({self.c!r})"
+
+
+class RaceAccess:
+    """One recorded access, with the clock snapshot taken at access time."""
+
+    __slots__ = ("thread", "is_store", "clock", "event_index")
+
+    def __init__(self, thread: int, is_store: bool, clock: VectorClock, event_index: int):
+        self.thread = thread
+        self.is_store = is_store
+        self.clock = clock
+        self.event_index = event_index
+
+
+class Race:
+    """An unordered conflicting access pair on one (memory, slot)."""
+
+    __slots__ = ("mem", "slot", "first", "second")
+
+    def __init__(self, mem: int, slot: int, first: RaceAccess, second: RaceAccess):
+        self.mem = mem
+        self.slot = slot
+        self.first = first
+        self.second = second
+
+    def describe(self) -> str:
+        a, b = self.first, self.second
+        kind_a = "store" if a.is_store else "load"
+        kind_b = "store" if b.is_store else "load"
+        return (
+            f"shared memory {self.mem} slot {self.slot}: "
+            f"{kind_a} by thread {a.thread} and {kind_b} by thread "
+            f"{b.thread} are not ordered by any commit"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mem": self.mem,
+            "slot": self.slot,
+            "threads": [self.first.thread, self.second.thread],
+            "kinds": [
+                "store" if self.first.is_store else "load",
+                "store" if self.second.is_store else "load",
+            ],
+        }
+
+
+def find_races(events: List[Any]) -> List[Race]:
+    """Run the vector-clock detector over a recorded event stream.
+
+    ``events`` is the monitor's stream (:class:`~repro.sanitize.events.
+    SyncEvent` records); only ``store``/``load``/``commit`` kinds are
+    consumed.  At most one race is reported per (memory, slot, thread
+    pair) — repeated races on the same pair are one bug, not thousands.
+    """
+    clocks: Dict[Tuple[int, int], VectorClock] = {}  # (mem, thread) -> clock
+    commit_clock: Dict[int, VectorClock] = {}  # mem -> clock of last commit
+    # (mem, slot) -> last access per (thread, is_store); bounded state.
+    last_access: Dict[Tuple[int, int], Dict[Tuple[int, bool], RaceAccess]] = {}
+    races: List[Race] = []
+    seen_pairs = set()
+
+    def actor_clock(mem: int, thread: int) -> VectorClock:
+        key = (mem, thread)
+        clock = clocks.get(key)
+        if clock is None:
+            clock = clocks[key] = VectorClock()
+        return clock
+
+    for index, event in enumerate(events):
+        kind = event.kind
+        if kind == "commit":
+            mem = event.data["mem"]
+            merged = commit_clock.get(mem)
+            if merged is None:
+                merged = commit_clock[mem] = VectorClock()
+            if event.actor is None:
+                # Full commit: every thread's writes become visible, so
+                # the commit clock dominates every actor of this memory.
+                for (m, _t), clock in clocks.items():
+                    if m == mem:
+                        merged.join(clock)
+            else:
+                # Per-thread fence: only that thread's work is published.
+                merged.join(actor_clock(mem, event.actor))
+            merged.tick(("commit", mem))
+            continue
+        if kind not in ("store", "load"):
+            continue
+        if event.data.get("volatile"):
+            # Volatile accesses are synchronized by declaration (Table V).
+            continue
+        mem = event.data["mem"]
+        thread = event.actor
+        slot = event.addr
+        is_store = kind == "store"
+        clock = actor_clock(mem, thread)
+        committed = commit_clock.get(mem)
+        if committed is not None:
+            clock.join(committed)
+        clock.tick((mem, thread))
+        snapshot = clock.copy()
+        history = last_access.setdefault((mem, slot), {})
+        for (other_thread, other_store), prior in history.items():
+            if other_thread == thread:
+                continue
+            if not (is_store or other_store):
+                continue  # two loads never race
+            if prior.clock.leq(snapshot):
+                continue  # ordered: prior happened-before this access
+            pair = (mem, slot, *sorted((thread, other_thread)))
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+            races.append(
+                Race(mem, slot, prior, RaceAccess(thread, is_store, snapshot, index))
+            )
+        history[(thread, is_store)] = RaceAccess(thread, is_store, snapshot, index)
+    return races

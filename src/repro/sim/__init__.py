@@ -25,8 +25,18 @@ from repro.sim.engine import (
     Timeout,
 )
 from repro.sim.exec_block import BlockBarrier, BlockExecutor
-from repro.sim.exec_thread import ThreadCtx, UnsupportedInstruction, WarpExecutor, WarpRunResult
-from repro.sim.interconnect import Interconnect, build_dgx1_nvlink, build_interconnect, build_pcie
+from repro.sim.exec_thread import (
+    ThreadCtx,
+    UnsupportedInstruction,
+    WarpExecutor,
+    WarpRunResult,
+)
+from repro.sim.interconnect import (
+    Interconnect,
+    build_dgx1_nvlink,
+    build_interconnect,
+    build_pcie,
+)
 from repro.sim.memory import HBM, DeviceBuffer, L2AtomicUnit, RaceRecord, SharedMemory
 from repro.sim.node import (
     MultiGridSyncResult,

@@ -17,7 +17,7 @@ the measurements against the published values.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 __all__ = [
     "WarpSyncCalib",

@@ -13,6 +13,7 @@ Dispatch rules, the eligibility matrix and the closed-form derivations
 are documented in ``docs/backends.md``.
 """
 
+from repro.sim.backends.analytic import AnalyticBackend
 from repro.sim.backends.base import (
     BACKEND_CHOICES,
     BACKEND_KINDS,
@@ -24,7 +25,6 @@ from repro.sim.backends.base import (
     reset_fallback_warnings,
 )
 from repro.sim.backends.engine import EngineBackend
-from repro.sim.backends.analytic import AnalyticBackend
 
 __all__ = [
     "BACKEND_CHOICES",

@@ -36,7 +36,7 @@ Key engine facts the forms rely on (proved against ``sim/engine.py`` /
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -22,7 +22,16 @@ contract as scenario overrides.
 from __future__ import annotations
 
 import warnings
-from typing import TYPE_CHECKING, Dict, Optional, Protocol, Sequence, Set, Tuple, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    runtime_checkable,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sync.scope import BarrierScope, ScopeRun

@@ -54,7 +54,9 @@ import heapq
 import itertools
 from collections import deque
 from heapq import heappush as _heappush
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, NamedTuple, Optional
+
+from repro.sanitize import events as _sanitize
 
 __all__ = [
     "Engine",
@@ -64,6 +66,7 @@ __all__ = [
     "WakeAt",
     "AllOf",
     "Resource",
+    "BlockedWaiter",
     "DeadlockError",
     "SimulationError",
 ]
@@ -71,6 +74,24 @@ __all__ = [
 
 class SimulationError(RuntimeError):
     """Base class for errors raised by the simulation engine."""
+
+
+class BlockedWaiter(NamedTuple):
+    """One blocked process at the moment the simulation quiesced.
+
+    ``target`` is the actual yieldable the process was suspended on (a
+    :class:`Signal`, :class:`Process`, acquire record, ...), so callers —
+    the sanitizer's blame graph, partial-participation experiments — can
+    group waiters by the object they hang on instead of parsing strings.
+    """
+
+    process: str
+    wait_kind: str
+    target_name: str
+    target: Any
+
+    def describe(self) -> str:
+        return f"{self.process} blocked on {self.wait_kind} {self.target_name!r}"
 
 
 class DeadlockError(SimulationError):
@@ -81,10 +102,19 @@ class DeadlockError(SimulationError):
     blocked:
         Names of the processes that were still waiting when the simulation
         quiesced.  The paper's partial-group sync experiments assert on this.
+    waiters:
+        Structured :class:`BlockedWaiter` records for the same processes
+        (empty when the raiser had no live-process context, e.g. the
+        ``run_process`` never-completed path).
     """
 
-    def __init__(self, blocked: list[str]):
+    def __init__(
+        self,
+        blocked: list[str],
+        waiters: Optional[list["BlockedWaiter"]] = None,
+    ):
         self.blocked = list(blocked)
+        self.waiters: list[BlockedWaiter] = list(waiters) if waiters else []
         preview = ", ".join(self.blocked[:8])
         if len(self.blocked) > 8:
             preview += f", ... ({len(self.blocked)} total)"
@@ -230,6 +260,8 @@ class Signal:
         """Fire the signal, waking every waiter at the current time."""
         if self.fired:
             raise SimulationError(f"signal {self.name!r} fired twice")
+        if _sanitize.MONITOR is not None:
+            _sanitize.MONITOR.on_signal_fire(self, self.engine.now)
         self.fired = True
         self.value = value
         for cb in self.callbacks:
@@ -624,6 +656,23 @@ def _describe_wait(waiting_on: Any) -> str:
     return repr(waiting_on)
 
 
+def _wait_kind(waiting_on: Any) -> tuple[str, str]:
+    """(kind, target-name) pair for structured deadlock reports."""
+    if waiting_on is None:
+        return "ready", ""
+    if isinstance(waiting_on, Signal):
+        return "signal", waiting_on.name
+    if isinstance(waiting_on, Process):
+        return "process", waiting_on.name
+    if isinstance(waiting_on, _Acquire):
+        return "acquire", waiting_on.resource.name
+    if isinstance(waiting_on, AllOf):
+        return "allof", f"{len(waiting_on.children)} children"
+    if isinstance(waiting_on, (Timeout, WakeAt)):
+        return "timeout", repr(waiting_on)
+    return "other", repr(waiting_on)
+
+
 def _describe_event(target: Any, payload: Any) -> str:
     """Trace-log description of one event record."""
     if target is None:
@@ -784,11 +833,20 @@ class Engine:
         finally:
             self.event_count += count
         if detect_deadlock and self._live:
+            if _sanitize.MONITOR is not None:
+                _sanitize.MONITOR.on_deadlock(self, self._live)
             blocked = sorted(
                 f"{p.name} waiting on {_describe_wait(p._waiting_on)}"
                 for p in self._live
             )
-            raise DeadlockError(blocked)
+            waiters = sorted(
+                (
+                    BlockedWaiter(p.name, *_wait_kind(p._waiting_on), p._waiting_on)
+                    for p in self._live
+                ),
+                key=lambda w: (w.process, w.wait_kind, w.target_name),
+            )
+            raise DeadlockError(blocked, waiters=waiters)
         return self.now
 
     def run_process(self, gen: Generator, name: str = "main") -> Any:

@@ -14,7 +14,7 @@ Pascal too).
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Generator, Optional
+from typing import Callable, Dict, Generator
 
 from repro.sim.arch import GPUSpec
 from repro.sim.engine import Engine, Signal

@@ -57,7 +57,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
-import numpy as np
 
 from repro.cudasim import instructions as ins
 from repro.sim.arch import GPUSpec

@@ -21,7 +21,7 @@ introduces 2-hop members — exactly where the paper's latency jumps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import networkx as nx
 

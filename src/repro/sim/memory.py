@@ -20,12 +20,13 @@ Three distinct concerns live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Set
 
 import numpy as np
 
-from repro.sim.arch import GPUSpec, HBMCalib
+from repro.sanitize import events as _sanitize
+from repro.sim.arch import HBMCalib
 from repro.sim.engine import Engine, Resource, Timeout
 
 __all__ = [
@@ -85,6 +86,9 @@ class SharedMemory:
     def store(self, thread: int, slot: int, value: float, volatile: bool = False) -> None:
         """Write ``value``; plain writes stay pending for other threads."""
         self._check_slot(slot)
+        mon = _sanitize.MONITOR
+        if mon is not None and mon.capture_memory:
+            mon.on_mem_access(self, thread, slot, is_store=True, volatile=volatile)
         if volatile:
             self.committed[slot] = value
             self.pending_owner[slot] = -1
@@ -108,6 +112,9 @@ class SharedMemory:
         analogue of the compiler/hardware keeping the value in a register.
         """
         self._check_slot(slot)
+        mon = _sanitize.MONITOR
+        if mon is not None and mon.capture_memory:
+            mon.on_mem_access(self, thread, slot, is_store=False, volatile=volatile)
         owner = int(self.pending_owner[slot])
         if owner == -1:
             return float(self.committed[slot])
@@ -125,6 +132,9 @@ class SharedMemory:
 
         Returns the number of slots committed.
         """
+        mon = _sanitize.MONITOR
+        if mon is not None and mon.capture_memory:
+            mon.on_mem_commit(self)
         mask = self.pending_owner >= 0
         n = int(mask.sum())
         if n:
@@ -134,6 +144,9 @@ class SharedMemory:
 
     def commit_thread(self, thread: int) -> int:
         """Commit only one thread's pending writes (per-thread fence)."""
+        mon = _sanitize.MONITOR
+        if mon is not None and mon.capture_memory:
+            mon.on_mem_commit(self, thread=thread)
         mask = self.pending_owner == thread
         n = int(mask.sum())
         if n:

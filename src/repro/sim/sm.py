@@ -17,10 +17,10 @@ Two SM-scoped mechanisms drive the paper's single-GPU results:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional
+from typing import Generator, Optional
 
 from repro.sim.arch import GPUSpec
-from repro.sim.engine import Engine, Resource, Signal, Timeout
+from repro.sim.engine import Engine, Resource, Timeout
 from repro.sim.occupancy import blocks_per_sm as occ_blocks_per_sm
 
 __all__ = [

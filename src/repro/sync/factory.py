@@ -21,7 +21,10 @@ this package importable from the pure-``sim`` layer.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cudasim.runtime import CudaRuntime
 
 from repro.sync.groups import (
     BlockGroup,
@@ -42,7 +45,7 @@ __all__ = [
 
 
 def this_warp(
-    rt,
+    rt: CudaRuntime,
     size: int = 32,
     kind: str = "tile",
     device: int = 0,
@@ -57,7 +60,7 @@ def this_warp(
 
 
 def this_block(
-    rt,
+    rt: CudaRuntime,
     warps_per_block: int,
     device: int = 0,
     strategy: StrategyArg = None,
@@ -71,7 +74,7 @@ def this_block(
 
 
 def this_grid(
-    rt,
+    rt: CudaRuntime,
     blocks_per_sm: int,
     threads_per_block: int,
     device: int = 0,
@@ -98,7 +101,7 @@ def this_grid(
 
 
 def this_multi_grid(
-    rt,
+    rt: CudaRuntime,
     blocks_per_sm: int,
     threads_per_block: int,
     gpu_ids: Optional[Sequence[int]] = None,
@@ -126,7 +129,7 @@ def this_multi_grid(
 
 
 def cpu_barrier_team(
-    rt,
+    rt: CudaRuntime,
     n_threads: Optional[int] = None,
     strategy: StrategyArg = None,
     strategy_knobs: Optional[Mapping[str, float]] = None,

@@ -27,8 +27,9 @@ so every regenerated table and figure is byte-for-byte unchanged.
 
 from __future__ import annotations
 
-from typing import Generator, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Generator, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.sanitize import events as _sanitize
 from repro.sim.arch import GPUSpec
 from repro.sim.engine import Engine, Resource, Signal, Timeout
 from repro.sim.memory import MemoryChannel
@@ -79,7 +80,7 @@ class _KnobTracker:
         self.knobs = dict(knobs)
         self.read: set = set()
 
-    def get(self, key: str, default=None):
+    def get(self, key: str, default: Optional[float] = None) -> Optional[float]:
         self.read.add(key)
         return self.knobs.get(key, default)
 
@@ -100,7 +101,7 @@ def _check_knobs(knobs: Optional[Mapping[str, float]], scope_name: str) -> "_Kno
 
 
 def _resolve_strategy(
-    scope, strategy: StrategyArg, knobs: Optional[Mapping[str, float]]
+    scope: Any, strategy: StrategyArg, knobs: Optional[Mapping[str, float]]
 ) -> Optional[BarrierStrategy]:
     """Turn a strategy *kind* into a concrete, scope-calibrated instance.
 
@@ -174,7 +175,9 @@ class WarpGroup(BarrierScope):
             backend=backend,
         )
 
-    def _build_strategy(self, kind: str, knobs: Mapping[str, float]):
+    def _build_strategy(
+        self, kind: str, knobs: Mapping[str, float]
+    ) -> Optional[BarrierStrategy]:
         if kind != "cooperative":
             return None  # warp barriers have no software/CPU variant
         return CooperativeBarrier(
@@ -248,7 +251,9 @@ class BlockGroup(BarrierScope):
             backend=backend,
         )
 
-    def _build_strategy(self, kind: str, knobs: Mapping[str, float]):
+    def _build_strategy(
+        self, kind: str, knobs: Mapping[str, float]
+    ) -> Optional[BarrierStrategy]:
         if kind != "cooperative":
             return None  # __syncthreads is always the hardware barrier unit
         spec = self.spec
@@ -336,14 +341,16 @@ class GridGroup(BarrierScope):
             for j in range(self.sm_count)
         ]
 
-    def _build_strategy(self, kind: str, knobs: Mapping[str, float]):
+    def _build_strategy(
+        self, kind: str, knobs: Mapping[str, float]
+    ) -> Optional[BarrierStrategy]:
         gs = self.spec.grid_sync
 
-        def service():
-            return knobs.get(
-                "atomic_service_ns",
-                gs.atomic_service_ns(self.blocks_per_sm, self.sm_count),
-            )
+        def service() -> float:
+            knob = knobs.get("atomic_service_ns")
+            if knob is not None:
+                return knob
+            return gs.atomic_service_ns(self.blocks_per_sm, self.sm_count)
 
         if kind == "cooperative":
             return CooperativeBarrier(
@@ -392,11 +399,15 @@ class GridGroup(BarrierScope):
         )
 
     def arrive(self, member: int, round_index: int) -> Generator:
+        if _sanitize.MONITOR is not None:
+            _sanitize.MONITOR.on_arrive(self, member, round_index, self.engine.now)
         # 1. intra-block arrive + flag write round-trip; 2-3. strategy.
         yield self._t_arrive
         yield from self.strategy.arrive(self.round_state(round_index))
 
     def wait(self, member: int, round_index: int) -> Generator:
+        if _sanitize.MONITOR is not None:
+            _sanitize.MONITOR.on_wait(self, member, round_index, self.engine.now)
         yield from self.strategy.wait(self.round_state(round_index))
         # 4. warp re-dispatch, serialized per SM.
         port = self._release_ports[member % self.sm_count]
@@ -404,18 +415,26 @@ class GridGroup(BarrierScope):
             yield port.acquire()
             yield self._t_release
             port.release()
+        if _sanitize.MONITOR is not None:
+            _sanitize.MONITOR.on_wait_return(self, member, round_index, self.engine.now)
 
-    def _member_proc(self, member, n_syncs, trace):
+    def _member_proc(
+        self, member: int, n_syncs: int, trace: Dict[Tuple[int, int], float]
+    ) -> Generator:
         # Fused fast path for the default strategy: the Fig 5 heat-maps
         # drive thousands of block processes through this generator, and
         # the composable arrive/wait nesting costs ~30% wall-clock there.
         # The yield sequence below is identical to sync(member, r) — the
         # engine sees the same events — only the Python generator frames
         # are flattened.  Custom strategies keep the composable path.
+        # The sanitizer needs the hook-bearing composable path; both paths
+        # produce the same engine events, so falling back is observationally
+        # pure (the bench guard pins that).
         strategy = self.strategy
         if (
             strategy.__class__ is not CooperativeBarrier
             or strategy._counter_port is None
+            or _sanitize.MONITOR is not None
         ):
             yield from BarrierScope._member_proc(self, member, n_syncs, trace)
             return
@@ -542,7 +561,9 @@ class MultiGridGroup(BarrierScope):
             backend=backend,
         )
 
-    def _build_strategy(self, kind: str, knobs: Mapping[str, float]):
+    def _build_strategy(
+        self, kind: str, knobs: Mapping[str, float]
+    ) -> Optional[BarrierStrategy]:
         ids = self.gpu_ids
         if kind == "cooperative":
             return CooperativeBarrier(
@@ -598,13 +619,21 @@ class MultiGridGroup(BarrierScope):
         yield self._t_arrive
         if not self.full_local_participation:
             # A block inside this GPU never arrived: the local grid phase
-            # can never finish, so this GPU never reports.
+            # can never finish, so this GPU never reports.  (No arrive
+            # event either: this member never reaches the counter, which
+            # is exactly what the divergence check should see.)
             yield Signal(self.engine, name=f"gpu{member}-stuck-local")
+        if _sanitize.MONITOR is not None:
+            _sanitize.MONITOR.on_arrive(self, member, round_index, self.engine.now)
         yield from self.strategy.arrive(self.round_state(round_index))
 
     def wait(self, member: int, round_index: int) -> Generator:
+        if _sanitize.MONITOR is not None:
+            _sanitize.MONITOR.on_wait(self, member, round_index, self.engine.now)
         yield from self.strategy.wait(self.round_state(round_index))
         yield self._t_release_local
+        if _sanitize.MONITOR is not None:
+            _sanitize.MONITOR.on_wait_return(self, member, round_index, self.engine.now)
 
     def simulate(
         self,
@@ -677,7 +706,9 @@ class HostBarrierGroup(BarrierScope):
         )
         self._counters: dict = {}
 
-    def _build_strategy(self, kind: str, knobs: Mapping[str, float]):
+    def _build_strategy(
+        self, kind: str, knobs: Mapping[str, float]
+    ) -> Optional[BarrierStrategy]:
         if kind != "cpu":
             return None  # host threads rendezvous only at the OpenMP barrier
         return CpuBarrier(expected=self.n_threads, cost_ns=self.cost_ns)

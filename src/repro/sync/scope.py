@@ -38,11 +38,11 @@ from typing import (
     Iterable,
     Optional,
     Protocol,
-    Sequence,
     Tuple,
     runtime_checkable,
 )
 
+from repro.sanitize import events as _sanitize
 from repro.sim.engine import Engine, SimulationError
 
 from repro.sync.strategies import BarrierStrategy, Round
@@ -143,6 +143,8 @@ class BarrierScope:
                 release=self.engine.signal(f"{self.release_name}-{round_index}"),
             )
             self._rounds[round_index] = rnd
+            if _sanitize.MONITOR is not None:
+                _sanitize.MONITOR.on_round(self, rnd)
         return rnd
 
     @property
@@ -160,9 +162,18 @@ class BarrierScope:
         raise NotImplementedError
 
     def arrive(self, member: int, round_index: int) -> Generator:
+        if _sanitize.MONITOR is not None:
+            _sanitize.MONITOR.on_arrive(self, member, round_index, self.engine.now)
         yield from self.strategy.arrive(self.round_state(round_index))
 
     def wait(self, member: int, round_index: int) -> Generator:
+        if _sanitize.MONITOR is not None:
+            _sanitize.MONITOR.on_wait(self, member, round_index, self.engine.now)
+            yield from self.strategy.wait(self.round_state(round_index))
+            _sanitize.MONITOR.on_wait_return(
+                self, member, round_index, self.engine.now
+            )
+            return
         yield from self.strategy.wait(self.round_state(round_index))
 
     def sync(self, member: int, round_index: int) -> Generator:

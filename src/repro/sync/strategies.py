@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from repro.sanitize import events as _sanitize
 from repro.sim.engine import Engine, Signal, Timeout
 from repro.sim.memory import L2AtomicUnit, MemoryChannel
 
@@ -91,6 +92,8 @@ class BarrierStrategy:
         rnd.count += 1
         if rnd.count == self.expected:
             self.rounds_released += 1
+            if _sanitize.MONITOR is not None:
+                _sanitize.MONITOR.on_release(rnd, self.engine.now, release_delay_ns)
             self.engine.schedule_fire(release_delay_ns, rnd.release)
             return True
         return False
@@ -228,6 +231,8 @@ class SoftwareAtomicBarrier(BarrierStrategy):
         yield rnd.release
         if self.channel is not None:
             self.channel.detections += 1
+            if _sanitize.MONITOR is not None:
+                _sanitize.MONITOR.on_poll(self.channel, rnd)
         yield Timeout(self.detection_lag_ns())
 
 

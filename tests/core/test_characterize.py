@@ -15,7 +15,6 @@ from repro.core.characterize import (
     table2_rows,
 )
 from repro.experiments.paper_data import FIG5_GRID_SYNC_US, TABLE2
-from repro.sim.arch import DGX1_V100
 from repro.sim.node import Node
 
 

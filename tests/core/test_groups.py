@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cudasim.errors import CooperativeLaunchTooLarge, CudaError, InvalidConfiguration
 from repro.core.groups import (
     VALID_TILE_SIZES,
     KernelEnv,
@@ -13,6 +12,11 @@ from repro.core.groups import (
     this_multi_grid,
     this_thread_block,
     tiled_partition,
+)
+from repro.cudasim.errors import (
+    CooperativeLaunchTooLarge,
+    CudaError,
+    InvalidConfiguration,
 )
 from repro.sim.node import Node
 

@@ -62,7 +62,9 @@ class TestSwitchingPoints:
         """Feeding the paper's own Table III numbers must give Table IV."""
         for arch in ("V100", "P100"):
             t3 = TABLE3[arch]
-            basic = WorkerConfig("thrd", t3["1_thread"]["bandwidth"], t3["1_thread"]["latency"])
+            basic = WorkerConfig(
+                "thrd", t3["1_thread"]["bandwidth"], t3["1_thread"]["latency"]
+            )
             more = WorkerConfig("warp", t3["1_warp"]["bandwidth"], t3["1_warp"]["latency"])
             pts = switching_points(basic, more, TABLE4[arch]["warp"]["sync_latency"])
             assert pts.n_large == pytest.approx(TABLE4[arch]["warp"]["n_large"], rel=0.03)

@@ -7,7 +7,6 @@ import pytest
 from repro.cudasim.errors import CooperativeLaunchTooLarge, InvalidDevice
 from repro.cudasim.kernel import LaunchConfig, NullKernel, WorkKernel
 from repro.cudasim.runtime import CudaRuntime
-from repro.sim.arch import DGX1_V100
 
 CFG = LaunchConfig(1, 32)
 

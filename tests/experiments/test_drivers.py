@@ -7,7 +7,6 @@ DESIGN.md §6.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.exp_launch import run_fig9
 from repro.experiments.exp_model import run_table3, run_validation

@@ -48,6 +48,7 @@ class TestRegistry:
             "table1", "table2", "table3", "table4", "table5", "table6", "table8",
             "fig4", "fig5", "fig7", "fig8", "fig9", "fig15", "fig16", "fig18",
             "deadlock", "validation", "sync_methods", "divergence",
+            "pitfalls_sanitized",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -197,7 +198,7 @@ class TestTags:
         # CI's smoke subset, selected by tag instead of a name list.
         assert smoke == [
             "table1", "fig8", "sync_methods", "table4", "table5", "divergence",
-            "deadlock", "validation",
+            "deadlock", "pitfalls_sanitized", "validation",
         ]
         assert filter_by_tags(ids, ["warp", "block"]) == [
             "table2", "fig4", "table5", "fig18", "divergence"

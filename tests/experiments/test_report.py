@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.base import ExperimentReport
 from repro.experiments.report import experiments_markdown, write_experiments_md

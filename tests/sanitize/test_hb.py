@@ -1,0 +1,124 @@
+"""Unit tests for the vector-clock happens-before analysis."""
+
+from repro.sanitize.events import SyncEvent
+from repro.sanitize.hb import VectorClock, find_races
+
+
+def _store(mem, thread, slot, volatile=False):
+    return SyncEvent(
+        "store", actor=thread, addr=slot, data={"mem": mem, "volatile": volatile}
+    )
+
+
+def _load(mem, thread, slot, volatile=False):
+    return SyncEvent(
+        "load", actor=thread, addr=slot, data={"mem": mem, "volatile": volatile}
+    )
+
+
+def _commit(mem, thread=None):
+    return SyncEvent("commit", actor=thread, data={"mem": mem})
+
+
+class TestVectorClock:
+    def test_tick_and_leq(self):
+        a, b = VectorClock(), VectorClock()
+        a.tick("x")
+        assert not a.leq(b)
+        b.join(a)
+        assert a.leq(b)
+
+    def test_join_is_componentwise_max(self):
+        a = VectorClock({"x": 3, "y": 1})
+        b = VectorClock({"x": 1, "z": 5})
+        a.join(b)
+        assert a.c == {"x": 3, "y": 1, "z": 5}
+
+    def test_copy_is_independent(self):
+        a = VectorClock({"x": 1})
+        b = a.copy()
+        b.tick("x")
+        assert a.c["x"] == 1 and b.c["x"] == 2
+
+
+class TestRaceDetection:
+    def test_store_load_without_commit_races(self):
+        races = find_races([_store(0, 0, 0), _load(0, 1, 0)])
+        assert len(races) == 1
+        race = races[0]
+        assert race.mem == 0 and race.slot == 0
+        assert {race.first.thread, race.second.thread} == {0, 1}
+        assert "not ordered" in race.describe()
+
+    def test_commit_orders_the_pair(self):
+        races = find_races([_store(0, 0, 0), _commit(0), _load(0, 1, 0)])
+        assert races == []
+
+    def test_two_loads_never_race(self):
+        races = find_races([_load(0, 0, 0), _load(0, 1, 0)])
+        assert races == []
+
+    def test_store_store_races(self):
+        races = find_races([_store(0, 0, 0), _store(0, 1, 0)])
+        assert len(races) == 1
+
+    def test_volatile_accesses_exempt(self):
+        # Table V: the volatile reduction is correct without explicit sync.
+        races = find_races(
+            [_store(0, 0, 0, volatile=True), _load(0, 1, 0, volatile=True)]
+        )
+        assert races == []
+
+    def test_different_slots_do_not_race(self):
+        races = find_races([_store(0, 0, 0), _load(0, 1, 1)])
+        assert races == []
+
+    def test_different_memories_do_not_race(self):
+        races = find_races([_store(0, 0, 0), _load(1, 1, 0)])
+        assert races == []
+
+    def test_same_thread_never_races(self):
+        races = find_races([_store(0, 0, 0), _load(0, 0, 0)])
+        assert races == []
+
+    def test_per_thread_fence_orders_only_that_thread(self):
+        # t0 fences its own store -> t1's later load is ordered; t2's
+        # uncommitted store still races with t1's load.
+        races = find_races(
+            [
+                _store(0, 0, 0),
+                _commit(0, thread=0),
+                _store(0, 2, 0),
+                _load(0, 1, 0),
+            ]
+        )
+        assert len(races) == 1
+        assert {races[0].first.thread, races[0].second.thread} == {2, 1}
+
+    def test_one_report_per_pair(self):
+        # Thousands of iterations of the same racy pair are one bug.
+        events = []
+        for _ in range(50):
+            events.append(_store(0, 0, 0))
+            events.append(_load(0, 1, 0))
+        assert len(find_races(events)) == 1
+
+    def test_race_to_dict(self):
+        race = find_races([_store(0, 0, 3), _load(0, 1, 3)])[0]
+        d = race.to_dict()
+        assert d["slot"] == 3
+        assert sorted(d["threads"]) == [0, 1]
+        assert sorted(d["kinds"]) == ["load", "store"]
+
+    def test_commit_then_new_epoch_races_again(self):
+        # A commit closes the old epoch; fresh conflicting accesses in the
+        # next epoch are a new (deduped) race on the same pair.
+        races = find_races(
+            [
+                _store(0, 0, 0),
+                _commit(0),
+                _store(0, 0, 0),
+                _load(0, 1, 0),
+            ]
+        )
+        assert len(races) == 1

@@ -6,15 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.engine import (
-    AllOf,
-    DeadlockError,
-    Engine,
-    Resource,
-    Signal,
-    SimulationError,
-    Timeout,
-)
+from repro.sim.engine import AllOf, DeadlockError, Engine, SimulationError, Timeout
 
 
 class TestScheduling:

@@ -7,8 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.arch import V100
-from repro.sim.engine import Engine, Timeout
+from repro.sim.engine import Engine
 from repro.sim.memory import HBM, DeviceBuffer, L2AtomicUnit, SharedMemory
 
 

@@ -18,7 +18,6 @@ import warnings
 
 import pytest
 
-from repro.sim.arch import DGX1_V100
 from repro.sim.device import simulate_grid_sync
 from repro.sim.engine import DeadlockError, Engine
 from repro.sim.memory import MemoryChannel

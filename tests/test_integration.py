@@ -26,7 +26,7 @@ class TestEventTimedReduction:
     """Time a reduction with CUDA events instead of the host clock."""
 
     def test_event_timing_matches_host_timing(self):
-        from repro.reduction.device import make_input, _partials
+        from repro.reduction.device import _partials, make_input
 
         rt = CudaRuntime.single_gpu(V100, host_jitter_ns=0.0)
         ev = EventApi(rt)
@@ -103,7 +103,7 @@ class TestAdvisorDrivenWorkflow:
     """Use the advisor to pick a mechanism, then execute its suggestion."""
 
     def test_device_advice_is_executable(self):
-        from repro.core import advise_device, KernelEnv, this_grid
+        from repro.core import KernelEnv, advise_device, this_grid
 
         adv = advise_device(V100, blocks_per_sm=2, threads_per_block=256,
                             barriers_per_launch=50)

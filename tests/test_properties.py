@@ -118,7 +118,10 @@ class TestStreamLaws:
         eng = Engine()
         s = Stream(eng, Device(V100))
         cfg = LaunchConfig(1, 32)
-        recs = [s.enqueue(WorkKernel(d), cfg, calib, float(i)) for i, d in enumerate(durations)]
+        recs = [
+            s.enqueue(WorkKernel(d), cfg, calib, float(i))
+            for i, d in enumerate(durations)
+        ]
         for i, rec in enumerate(recs):
             assert rec.end_ns == pytest.approx(rec.start_ns + durations[i])
             assert rec.start_ns >= i + calib.dispatch_ns - 1e-9

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.viz.heatmap import render_heatmap, render_heatmap_pair
 from repro.viz.tables import format_value, render_table
