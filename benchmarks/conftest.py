@@ -85,22 +85,28 @@ def record_timing(
     bench_id: str,
     backend: str,
     events: Optional[int] = None,
+    extra: Optional[Dict[str, object]] = None,
 ) -> None:
     """Record this bench's best-of-N wall time for ``--bench-json``.
 
     No-op unless the option was given, so the plain benchmark run stays
     untouched.  ``events`` is the DES event count of one harness pass
     (see :func:`count_engine_events`); ``None`` omits counting.
+    ``extra`` merges additional bench-specific counters into the record
+    (e.g. the sweep service's slab traffic) without widening the shared
+    schema — reserved keys cannot be overridden.
     """
     path = request.config.getoption("--bench-json", default=None)
     if not path:
         return
     stats = benchmark.stats.stats  # pytest-benchmark Metadata -> Stats
-    _records(request.config)[bench_id] = {
+    record: Dict[str, object] = dict(extra or {})
+    record.update({
         "ms": round(stats.min * 1e3, 3),
         "events": events,
         "backend": backend,
-    }
+    })
+    _records(request.config)[bench_id] = record
 
 
 def attach_report(benchmark, report) -> None:

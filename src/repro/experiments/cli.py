@@ -1,12 +1,21 @@
 """Command-line entry point: ``repro-experiments [ids...]``.
 
-Runs the requested experiments (default: all) through the declarative
-pipeline — parallel across ``--jobs`` processes under the supervised
-runner (per-point ``--timeout``, crash isolation, ``--retries`` with
-backoff), served from the content-addressed result cache unless
-``--no-cache`` — and prints either ASCII reports or ``--json`` machine
-output.  Progress is journaled next to the cache so an interrupted sweep
-can continue with ``--resume``.  Exit codes:
+Runs the requested experiments (default: all) through the layered sweep
+service — parallel across ``--jobs`` processes, optionally partitioned
+over ``--shards`` independent worker pools (per-point ``--timeout``,
+crash isolation, ``--retries`` with backoff), served from the
+content-addressed result cache unless ``--no-cache`` — and prints
+either ASCII reports or ``--json`` machine output.  Progress is
+journaled next to the cache so an interrupted sweep can continue with
+``--resume``; two subcommands operate on that journal:
+
+* ``repro-experiments status <journal>`` — per-shard and per-experiment
+  progress of an (interrupted) sweep, with ``--partial`` rendering the
+  merged reports recoverable from the result cache so far;
+* ``repro-experiments compact <journal>`` — rewrite the append-only
+  journal down to its live state (superseded attempt records dropped).
+
+Exit codes:
 
 * ``0`` — every experiment ran and landed within its tolerance,
 * ``1`` — a driver failed or a report exceeded its reproduction tolerance,
@@ -20,16 +29,18 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.experiments import runner
 from repro.experiments.journal import (
     SweepJournal,
+    compact_journal,
     default_journal_path,
     load_journal,
 )
 from repro.experiments.registry import EXPERIMENTS, filter_by_tags, get_spec
 from repro.experiments.scenario import apply_overrides
+from repro.experiments.service import RetryPolicy, SweepService
+from repro.experiments.service.cache import cache_load, default_cache_dir
 from repro.sanitize import SANITIZE_MODES
 from repro.sim.backends import BACKEND_CHOICES
 
@@ -67,6 +78,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--jobs", "-j", type=int, default=1, metavar="N",
         help="run (experiment, scenario) points across N processes",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help=(
+            "partition the sweep across N independent worker pools "
+            "(deterministic hash-sharding on the scenario hash, with work "
+            "stealing); a crashed or stuck worker takes down only its own "
+            "shard's pool (default: 1)"
+        ),
     )
     parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
@@ -160,7 +180,154 @@ def _list_experiments(ids: List[str]) -> None:
         print(f"{exp_id:<{width}}  {spec.title}{tags}{backends}")
 
 
+def _status_main(argv: List[str]) -> int:
+    """``repro-experiments status <journal>``: progress of a sweep."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments status",
+        description=(
+            "Report per-shard and per-experiment progress of an "
+            "(interrupted) sweep from its journal; --partial additionally "
+            "renders the merged reports recoverable from the result cache "
+            "so far."
+        ),
+    )
+    parser.add_argument("journal", type=Path, help="sweep journal to inspect")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the progress summary as JSON",
+    )
+    parser.add_argument(
+        "--partial", action="store_true",
+        help=(
+            "render partial merged reports from the finished points' "
+            "cache entries (the streaming-aggregation view of an "
+            "interrupted sweep)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="result cache the sweep wrote to (default: "
+             "$REPRO_EXPERIMENTS_CACHE or ~/.cache/repro-experiments)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        state = load_journal(args.journal)
+    except ValueError as exc:
+        print(f"cannot read sweep status: {exc}", file=sys.stderr)
+        return 2
+
+    total = len(state.points)
+    finished = len(state.finished)
+    failed = len(state.failed)
+    running = len(state.started - state.finished - set(state.failed))
+    pending = total - finished - failed - running
+    per_exp: dict = {}
+    for i, (exp_id, _) in enumerate(state.points):
+        st = per_exp.setdefault(
+            exp_id, {"points": 0, "finished": 0, "failed": 0}
+        )
+        st["points"] += 1
+        if i in state.finished:
+            st["finished"] += 1
+        elif i in state.failed:
+            st["failed"] += 1
+    shard_progress = state.shard_progress()
+
+    if args.as_json:
+        print(json.dumps({
+            "journal": str(args.journal),
+            "code_version": state.code_version,
+            "jobs": state.jobs,
+            "shards": state.shard_count,
+            "points": total,
+            "finished": finished,
+            "failed": failed,
+            "running": running,
+            "pending": pending,
+            "shard_progress": {str(k): v for k, v in shard_progress.items()},
+            "experiments": per_exp,
+        }, indent=2))
+    else:
+        print(
+            f"sweep: {total} point(s), {finished} finished, {failed} failed, "
+            f"{running} started-unfinished, {pending} pending "
+            f"(code {state.code_version}, jobs {state.jobs}, "
+            f"shards {state.shard_count})"
+        )
+        for shard in sorted(shard_progress):
+            st = shard_progress[shard]
+            label = f"shard {shard}" if shard >= 0 else "not started"
+            print(
+                f"  {label}: {st['points']} point(s), "
+                f"{st['finished']} finished, {st['failed']} failed, "
+                f"{st['running']} running"
+            )
+        for exp_id, st in per_exp.items():
+            print(
+                f"  {exp_id}: {st['finished']}/{st['points']} finished"
+                + (f", {st['failed']} failed" if st["failed"] else "")
+            )
+
+    if args.partial:
+        # The cache key folds the *recorded* code version in, so the
+        # entries of the interrupted sweep are addressable even if the
+        # source tree has changed since.
+        cache_root = args.cache_dir or default_cache_dir()
+        order = list(dict.fromkeys(e for e, _ in state.points))
+        from repro.experiments.base import merge_reports
+
+        for exp_id in order:
+            reports = []
+            exp_total = per_exp[exp_id]["points"]
+            for i in sorted(state.finished):
+                e, scen = state.points[i]
+                if e != exp_id:
+                    continue
+                entry = Path(cache_root) / (
+                    f"{e}-{scen.content_hash}-{state.code_version}.json"
+                )
+                report = cache_load(entry)
+                if report is not None:
+                    reports.append(report)
+            if not reports:
+                continue
+            merged = merge_reports(exp_id, get_spec(exp_id).title, reports)
+            print()
+            print(merged.render())
+            print(f"(partial: {len(reports)}/{exp_total} point(s) finished)")
+    return 0
+
+
+def _compact_main(argv: List[str]) -> int:
+    """``repro-experiments compact <journal>``: drop superseded records."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments compact",
+        description=(
+            "Rewrite an append-only sweep journal down to its live state: "
+            "the last sweep header plus each point's latest start and final "
+            "outcome.  Resume sees the identical state, in a fraction of "
+            "the records."
+        ),
+    )
+    parser.add_argument("journal", type=Path, help="sweep journal to compact")
+    args = parser.parse_args(argv)
+    try:
+        before, after = compact_journal(args.journal)
+    except ValueError as exc:
+        print(f"cannot compact: {exc}", file=sys.stderr)
+        return 2
+    print(f"compacted {args.journal}: {before} -> {after} record(s)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Journal subcommands ride in front of the experiment-id grammar;
+    # neither name is a registry id, so the dispatch is unambiguous.
+    if argv and argv[0] == "status":
+        return _status_main(argv[1:])
+    if argv and argv[0] == "compact":
+        return _compact_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     ids = args.ids or list(EXPERIMENTS)
@@ -206,23 +373,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.timeout is not None and args.timeout <= 0:
         print("--timeout must be positive", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
 
     if args.resume is not None:
         # The journal *is* the sweep definition: mixing it with a fresh
         # point selection would silently run something else than what is
         # being resumed, and without the cache the finished points'
-        # reports are unrecoverable.
-        if (
-            args.ids
-            or args.scenario
-            or tags
-            or args.backend is not None
-            or args.sanitize is not None
-        ):
+        # reports are unrecoverable.  --backend is the exception: it
+        # changes *how* the remaining points execute, not *which* points
+        # the sweep holds, so it composes with resume (below).
+        if args.ids or args.scenario or tags or args.sanitize is not None:
             print(
                 "--resume takes its experiments and scenarios from the "
-                "journal; drop the ids / --scenario / --backend / "
-                "--sanitize / --tags arguments",
+                "journal; drop the ids / --scenario / --sanitize / --tags "
+                "arguments",
                 file=sys.stderr,
             )
             return 2
@@ -239,6 +405,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"cannot resume: {exc}", file=sys.stderr)
             return 2
         points = state.points
+        if args.backend is not None:
+            # Re-execute the unfinished points under the requested
+            # backend; finished points keep their original scenario, so
+            # they are still served from the cache with the provenance
+            # they were recorded under.
+            points = [
+                (exp_id, scen) if i in state.finished
+                else (exp_id, apply_overrides(scen, [f"backend={args.backend}"]))
+                for i, (exp_id, scen) in enumerate(points)
+            ]
         ids = list(dict.fromkeys(exp_id for exp_id, _ in points))
         done = len(state.finished)
         print(
@@ -280,25 +456,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if journal_path is None and args.resume is not None:
         journal_path = args.resume
     if journal_path is None and not args.no_cache:
-        cache_root = args.cache_dir or runner.default_cache_dir()
+        cache_root = args.cache_dir or default_cache_dir()
         journal_path = default_journal_path(cache_root)
     journal = SweepJournal(journal_path) if journal_path is not None else None
 
-    results = runner.run_points(
-        points,
+    service = SweepService(
         jobs=args.jobs,
+        shards=args.shards,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         timeout=args.timeout,
-        retry=runner.RetryPolicy(max_attempts=args.retries + 1),
+        retry=RetryPolicy(max_attempts=args.retries + 1),
         journal=journal,
     )
+    results = service.run(points)
     if journal is not None:
         journal.close()
 
     exit_code = 0
-    reports = []
-    by_exp: dict = {}
     for res in results:
         if not res.ok:
             print(
@@ -317,10 +492,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"({res.crashes} crash(es), {res.timeouts} timeout(s))",
                 file=sys.stderr,
             )
-        by_exp.setdefault(res.exp_id, []).append(res)
-    for exp_id in ids:
-        if exp_id in by_exp:
-            reports.append(runner.merge_experiment(exp_id, by_exp[exp_id]))
+    # Reports come out of the streaming aggregator: every settled point
+    # was folded in as it landed, so this is a read, not a re-merge.
+    reports = service.aggregator.reports(ids)
 
     # Tolerance gate: a reproduction that drifted past its per-experiment
     # bound is a failure even though the driver ran cleanly.
@@ -344,20 +518,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # to crashes/timeouts — the observability face of the supervised
         # runner (points that failed outright are counted here too, even
         # though their rows are absent).
-        stats: Dict[str, Dict[str, int]] = {}
-        for res in results:
-            st = stats.setdefault(
-                res.exp_id,
-                {"points": 0, "attempts": 0, "retries": 0, "crashes": 0,
-                 "timeouts": 0, "cached": 0, "failed": 0},
-            )
-            st["points"] += 1
-            st["attempts"] += res.attempts
-            st["retries"] += res.retries
-            st["crashes"] += res.crashes
-            st["timeouts"] += res.timeouts
-            st["cached"] += 1 if res.cached else 0
-            st["failed"] += 0 if res.ok else 1
+        stats = service.aggregator.execution_stats()
         payload = []
         for report in reports:
             d = report.to_dict()

@@ -18,8 +18,8 @@ interleaved; a crash mid-write can at worst tear the final line, which
 Record shapes::
 
     {"event": "sweep", "points": [{"exp_id": ..., "scenario": {...}}, ...],
-     "code_version": "...", "jobs": N}
-    {"event": "start",  "index": i, "exp_id": ..., "attempt": n}
+     "code_version": "...", "jobs": N, "shards": S}
+    {"event": "start",  "index": i, "exp_id": ..., "attempt": n, "shard": s}
     {"event": "finish", "index": i, "exp_id": ..., "attempts": n,
      "cached": bool}
     {"event": "fail",   "index": i, "exp_id": ..., "attempt": n,
@@ -28,6 +28,8 @@ Record shapes::
 A journal may hold several ``sweep`` headers (each resume appends a new
 one); the **last** header defines the point list, and only records after
 it count — earlier generations are history, kept for forensics.
+:func:`compact_journal` rewrites a grown journal down to that live
+state: the last header plus one final record per point.
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import sys
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
@@ -44,6 +47,7 @@ from repro.experiments.scenario import Scenario
 __all__ = [
     "SweepJournal",
     "JournalState",
+    "compact_journal",
     "load_journal",
     "default_journal_path",
 ]
@@ -107,6 +111,7 @@ class SweepJournal:
         points: Sequence[Tuple[str, Scenario]],
         code_version: str,
         jobs: int,
+        shards: int = 1,
     ) -> None:
         self._write(
             {
@@ -116,13 +121,16 @@ class SweepJournal:
                 ],
                 "code_version": code_version,
                 "jobs": jobs,
+                "shards": shards,
             }
         )
 
-    def point_start(self, index: int, exp_id: str, attempt: int) -> None:
+    def point_start(
+        self, index: int, exp_id: str, attempt: int, shard: int = 0
+    ) -> None:
         self._write(
             {"event": "start", "index": index, "exp_id": exp_id,
-             "attempt": attempt}
+             "attempt": attempt, "shard": shard}
         )
 
     def point_finish(
@@ -163,11 +171,69 @@ class JournalState:
     finished: Set[int] = field(default_factory=set)
     failed: Dict[int, str] = field(default_factory=dict)  # index -> kind
     started: Set[int] = field(default_factory=set)
+    shards: Dict[int, int] = field(default_factory=dict)  # index -> shard
+    jobs: Optional[int] = None  # sweep header's --jobs
+    shard_count: int = 1  # sweep header's --shards
 
     @property
     def unfinished(self) -> List[int]:
         """Point indices resume must execute (everything not finished)."""
         return [i for i in range(len(self.points)) if i not in self.finished]
+
+    def shard_progress(self) -> Dict[int, Dict[str, int]]:
+        """Per-shard progress counters (the ``status`` subcommand's view).
+
+        A point counts toward the shard of its *latest* start record —
+        work stealing may move a point between shards mid-sweep, and the
+        stealing shard is the one that actually ran it.  Points never
+        started yet count toward their hash-assigned shard unknowably,
+        so they are reported under shard ``-1`` ("not started").
+        """
+        progress: Dict[int, Dict[str, int]] = {}
+
+        def bucket(shard: int) -> Dict[str, int]:
+            return progress.setdefault(
+                shard, {"points": 0, "finished": 0, "failed": 0, "running": 0}
+            )
+
+        for index in range(len(self.points)):
+            shard = self.shards.get(index, -1)
+            st = bucket(shard)
+            st["points"] += 1
+            if index in self.finished:
+                st["finished"] += 1
+            elif index in self.failed:
+                st["failed"] += 1
+            elif index in self.started:
+                st["running"] += 1
+        return progress
+
+
+def _read_records(path: Path) -> List[Tuple[str, Dict[str, Any]]]:
+    """Parse a journal's lines, tolerating a torn *final* line.
+
+    Returns (raw line, parsed record) pairs so callers that rewrite the
+    journal (compaction) can preserve surviving lines byte for byte.
+    Raises ``ValueError`` for an unreadable file or torn interior lines.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValueError(f"cannot read sweep journal {path}: {exc}") from None
+    lines = text.splitlines()
+    records: List[Tuple[str, Dict[str, Any]]] = []
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append((line, json.loads(line)))
+        except ValueError:
+            if lineno == len(lines) - 1:
+                break  # torn final line: the crash the journal is for
+            raise ValueError(
+                f"corrupt sweep journal {path}: bad record on line {lineno + 1}"
+            ) from None
+    return records
 
 
 def load_journal(path: Path) -> JournalState:
@@ -179,23 +245,7 @@ def load_journal(path: Path) -> JournalState:
     torn *final* line (crash mid-append) is tolerated; torn interior
     lines are corruption and raise.
     """
-    try:
-        text = Path(path).read_text(encoding="utf-8")
-    except OSError as exc:
-        raise ValueError(f"cannot read sweep journal {path}: {exc}") from None
-    lines = text.splitlines()
-    records: List[Dict[str, Any]] = []
-    for lineno, line in enumerate(lines):
-        if not line.strip():
-            continue
-        try:
-            records.append(json.loads(line))
-        except ValueError:
-            if lineno == len(lines) - 1:
-                break  # torn final line: the crash the journal is for
-            raise ValueError(
-                f"corrupt sweep journal {path}: bad record on line {lineno + 1}"
-            ) from None
+    records = [rec for _, rec in _read_records(path)]
 
     last_header = None
     for i, rec in enumerate(records):
@@ -206,6 +256,10 @@ def load_journal(path: Path) -> JournalState:
 
     header = records[last_header]
     state = JournalState(code_version=header.get("code_version"))
+    jobs = header.get("jobs")
+    state.jobs = jobs if isinstance(jobs, int) else None
+    shard_count = header.get("shards")
+    state.shard_count = shard_count if isinstance(shard_count, int) else 1
     try:
         state.points = [
             (p["exp_id"], Scenario.from_dict(p["scenario"]))
@@ -223,9 +277,77 @@ def load_journal(path: Path) -> JournalState:
             continue  # stale/foreign record: ignore rather than die
         if event == "start":
             state.started.add(index)
+            shard = rec.get("shard")
+            if isinstance(shard, int):
+                state.shards[index] = shard
         elif event == "finish":
             state.finished.add(index)
             state.failed.pop(index, None)
         elif event == "fail":
             state.failed[index] = str(rec.get("kind", "error"))
     return state
+
+
+def compact_journal(path: Path) -> Tuple[int, int]:
+    """Rewrite a journal down to its live state; returns (before, after).
+
+    An append-only journal grows without bound — every retry appends,
+    every resume appends a fresh header plus the whole replay.  Only the
+    *last* sweep header and each point's latest state matter for resume,
+    so compaction keeps exactly that: the last header, then per point
+    its last ``start`` record (shard attribution) and its final outcome
+    (last ``finish``, else last ``fail``), in original order.
+    Superseded attempt records, earlier generations and a torn final
+    line are dropped.  The rewrite goes through a temp file +
+    ``os.replace`` so a crash mid-compaction leaves the original journal
+    intact; surviving lines are preserved byte for byte, so
+    ``load_journal`` sees the identical state before and after.
+    """
+    records = _read_records(path)
+    total = len(records)
+
+    last_header = None
+    for i, (_, rec) in enumerate(records):
+        if rec.get("event") == "sweep":
+            last_header = i
+    if last_header is None:
+        raise ValueError(f"sweep journal {path} has no sweep header record")
+    header_pos, (header_line, header) = last_header, records[last_header]
+    n_points = len(header.get("points") or [])
+
+    # Per point: position of its last start, last finish, last fail.
+    last_of: Dict[Tuple[int, str], int] = {}  # (index, event) -> position
+    for pos in range(header_pos + 1, total):
+        _, rec = records[pos]
+        event = rec.get("event")
+        index = rec.get("index")
+        if event not in ("start", "finish", "fail"):
+            continue
+        if not isinstance(index, int) or not 0 <= index < n_points:
+            continue
+        last_of[(index, event)] = pos
+
+    keep_positions = set()
+    for index in range(n_points):
+        start = last_of.get((index, "start"))
+        if start is not None:
+            keep_positions.add(start)
+        finish = last_of.get((index, "finish"))
+        fail = last_of.get((index, "fail"))
+        outcome = finish if finish is not None else fail
+        if outcome is not None:
+            keep_positions.add(outcome)
+
+    kept = [header_line] + [records[pos][0] for pos in sorted(keep_positions)]
+    fd, tmp = tempfile.mkstemp(dir=Path(path).parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(kept) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return total, len(kept)

@@ -1,68 +1,60 @@
-"""Execution layer: supervised parallel (experiment, scenario) points.
+"""Compatibility facade over the layered sweep service.
 
-Every way of running an experiment — CLI, ``registry.run_all``, the
-EXPERIMENTS.md generator — funnels through :func:`execute_point`, the
-single entry path that owns error handling and caching:
+Historically this module *was* the execution layer — a 900-line monolith
+fusing dispatch, retry/blame policy, pool supervision, caching and
+report merging.  That machinery now lives in
+:mod:`repro.experiments.service`, decomposed into four seams:
 
-* **Supervised parallelism.**  ``run_points`` fans independent points out
-  over a ``ProcessPoolExecutor`` (``jobs > 1``) with per-future
-  ``submit`` dispatch.  A worker that dies (segfault, OOM kill,
-  ``os._exit``) breaks only the points that were in flight: finished
-  siblings keep their results, the pool is restarted, and the casualties
-  are retried under the sweep's :class:`RetryPolicy`.  Results merge in
-  input order, so ``jobs=8`` produces exactly the reports ``jobs=1`` does.
-* **Timeouts.**  An optional per-point wall-clock ``timeout`` bounds every
-  driver attempt; a stuck worker is killed, the pool restarts, and the
-  point is retried or failed with kind ``"timeout"``.
-* **Retry with backoff.**  Failures carry a *kind* — ``crash``/``timeout``
-  (infrastructure), ``transient`` (a driver raising
-  :class:`TransientPointError`, e.g. injected flakiness), or ``error``
-  (any other driver exception).  The default policy retries everything
-  except deterministic ``error`` failures, with exponential backoff plus
-  deterministic jitter.
-* **Content-addressed cache with claim/publish.**  A finished report is
-  stored under ``(driver id, scenario hash, code version)``.  Concurrent
-  writers coordinate through atomic ``O_EXCL`` claim files: the first
-  claimant computes, siblings wait for the published result, and a claim
-  whose owner died (or aged out) is taken over instead of deadlocking.
-  Corrupt entries are quarantined to ``*.corrupt`` (warned once), never
-  re-parsed forever.
-* **Journal.**  When a :class:`~repro.experiments.journal.SweepJournal`
-  is supplied, every point start/finish/failure is appended as it
-  happens, so an interrupted sweep can be resumed (``--resume``).
-* **Fault injection.**  Every failure path above is deterministically
-  reachable through :mod:`repro.experiments.faults` (or
-  ``$REPRO_FAULT_PLAN``); the hooks cost nothing when no plan is active.
+* :mod:`~repro.experiments.service.queue` — sweep points as schedulable
+  jobs with explicit states;
+* :mod:`~repro.experiments.service.scheduler` — the shard scheduler
+  owning the retry/timeout/crash-blame policy;
+* :mod:`~repro.experiments.service.workers` — the process-pool worker
+  fleet and the shared-memory result slab (plus ``execute_point``, the
+  single driver entry);
+* :mod:`~repro.experiments.service.aggregate` — the streaming report
+  aggregator.
+
+The public names that generations of callers import from here —
+``execute_point``, ``run_points``, ``RetryPolicy``, ``PointResult``,
+``merge_experiment``, ``run_experiment``, ``run_all``, the ``KIND_*``
+failure kinds — keep their exact signatures and semantics; they
+delegate into the service.  New code should import from
+:mod:`repro.experiments.service` directly (and may use its extras:
+``shards``, streaming aggregation, sweep stats).
 
 The failure-semantics contract is documented in ``docs/experiments.md``.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import sys
-import tempfile
-import time
-import traceback
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments import faults
-from repro.experiments.base import ExperimentReport, merge_reports
+from repro.experiments.base import ExperimentReport
 from repro.experiments.faults import TransientPointError
 from repro.experiments.journal import SweepJournal
 from repro.experiments.registry import EXPERIMENTS, get_spec
 from repro.experiments.scenario import Scenario
+from repro.experiments.service import SweepService
+from repro.experiments.service.aggregate import merge_experiment
+from repro.experiments.service.cache import code_version, default_cache_dir
+from repro.experiments.service.queue import (
+    KIND_CRASH,
+    KIND_ERROR,
+    KIND_TIMEOUT,
+    KIND_TRANSIENT,
+    ExperimentError,
+    PointResult,
+)
+from repro.experiments.service.scheduler import NO_RETRY, RetryPolicy
+from repro.experiments.service.workers import execute_point
 
 __all__ = [
     "ExperimentError",
     "PointResult",
     "RetryPolicy",
+    "NO_RETRY",
     "TransientPointError",
     "KIND_ERROR",
     "KIND_TRANSIENT",
@@ -77,761 +69,6 @@ __all__ = [
     "run_all",
 ]
 
-# Failure kinds, attached to PointResult.error_kind and fed to the retry
-# policy.  "error" is a deterministic driver exception (fails fast by
-# default); the other three are transient infrastructure/driver faults.
-KIND_ERROR = "error"
-KIND_TRANSIENT = "transient"
-KIND_CRASH = "crash"
-KIND_TIMEOUT = "timeout"
-
-
-class ExperimentError(RuntimeError):
-    """One or more (experiment, scenario) points failed."""
-
-    def __init__(self, failures: List["PointResult"]):
-        self.failures = failures
-        lines = [f"{len(failures)} experiment point(s) failed:"]
-        for f in failures:
-            first = (f.error or "").strip().splitlines()
-            lines.append(f"  {f.exp_id} [{f.scenario.describe()}]: "
-                         f"{first[-1] if first else 'unknown error'}")
-        super().__init__("\n".join(lines))
-
-
-@dataclass
-class PointResult:
-    """Outcome of one (experiment, scenario) point."""
-
-    exp_id: str
-    scenario: Scenario
-    report: Optional[ExperimentReport] = None
-    error: Optional[str] = None  # formatted traceback on failure
-    cached: bool = False
-    # Supervision counters: how hard the runner had to work for this
-    # outcome.  attempts counts driver dispatches (1 = first try worked);
-    # crashes/timeouts count the attempts lost to a dead or stuck worker.
-    attempts: int = 1
-    crashes: int = 0
-    timeouts: int = 0
-    error_kind: Optional[str] = None  # KIND_* of the *final* failure
-
-    @property
-    def ok(self) -> bool:
-        return self.report is not None
-
-    @property
-    def retries(self) -> int:
-        return max(0, self.attempts - 1)
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """When and how to retry a failed point.
-
-    ``retryable`` maps a failure kind (``KIND_*``) to whether another
-    attempt may help; the default retries worker crashes, timeouts and
-    transient driver errors, and fails deterministic errors fast.
-    Backoff is exponential from ``base_delay`` (capped at ``max_delay``)
-    plus *deterministic* jitter — a hash of the point key and attempt
-    number, so retry schedules decorrelate across points yet reproduce
-    exactly run to run.
-    """
-
-    max_attempts: int = 3
-    base_delay: float = 0.05
-    max_delay: float = 2.0
-    jitter: float = 0.25  # extra fraction of the backoff step, [0, jitter)
-    retryable: Optional[Callable[[str], bool]] = None
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ValueError("max_attempts must be >= 1")
-
-    def is_retryable(self, kind: str) -> bool:
-        if self.retryable is not None:
-            return self.retryable(kind)
-        return kind != KIND_ERROR
-
-    def should_retry(self, kind: str, attempt: int) -> bool:
-        return attempt < self.max_attempts and self.is_retryable(kind)
-
-    def backoff(self, attempt: int, key: str = "") -> float:
-        delay = min(self.base_delay * (2 ** (attempt - 1)), self.max_delay)
-        if self.jitter > 0 and delay > 0:
-            h = int.from_bytes(
-                hashlib.sha256(f"{key}:{attempt}".encode()).digest()[:4], "big"
-            )
-            delay += delay * self.jitter * (h / 2**32)
-        return delay
-
-
-#: Retry nothing — the pre-supervision behaviour, useful in tests.
-NO_RETRY = RetryPolicy(max_attempts=1)
-
-
-# -- cache keys ----------------------------------------------------------
-
-_CODE_VERSION: Optional[str] = None
-
-
-def code_version() -> str:
-    """Digest of every ``repro`` source file (16 hex digits, memoized).
-
-    Part of the cache key: any edit to the package invalidates every
-    cached report, so the cache can never serve results produced by
-    different code.
-    """
-    global _CODE_VERSION
-    if _CODE_VERSION is None:
-        import repro
-
-        pkg_root = Path(repro.__file__).resolve().parent
-        digest = hashlib.sha256()
-        for path in sorted(pkg_root.rglob("*.py")):
-            digest.update(str(path.relative_to(pkg_root)).encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-            digest.update(b"\0")
-        _CODE_VERSION = digest.hexdigest()[:16]
-    return _CODE_VERSION
-
-
-def default_cache_dir() -> Path:
-    """Result-cache directory (override with ``REPRO_EXPERIMENTS_CACHE``)."""
-    env = os.environ.get("REPRO_EXPERIMENTS_CACHE")
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "repro-experiments"
-
-
-def _cache_path(cache_dir: Path, exp_id: str, scenario: Scenario) -> Path:
-    return cache_dir / f"{exp_id}-{scenario.content_hash}-{code_version()}.json"
-
-
-# Corrupt-entry quarantine: warn once per path per process, and rename
-# the bad file out of the key's way so it is recomputed once — not
-# silently re-parsed (and re-failed) on every run forever.
-_QUARANTINE_WARNED: Set[str] = set()
-
-
-def _quarantine(path: Path, reason: str) -> None:
-    target = path.with_name(path.name + ".corrupt")
-    try:
-        os.replace(path, target)
-        where = f"quarantined to {target.name}"
-    except OSError as exc:
-        where = f"could not quarantine ({exc})"
-    if str(path) not in _QUARANTINE_WARNED:
-        _QUARANTINE_WARNED.add(str(path))
-        print(
-            f"warning: corrupt result cache entry {path} ({reason}); {where}; "
-            "the point will be recomputed",
-            file=sys.stderr,
-        )
-
-
-def _cache_load(path: Path) -> Optional[ExperimentReport]:
-    try:
-        text = path.read_text()
-    except OSError:
-        return None  # missing entry -> plain miss
-    try:
-        return ExperimentReport.from_json(text)
-    except (ValueError, KeyError, TypeError) as exc:
-        _quarantine(path, f"{type(exc).__name__}: {exc}")
-        return None
-
-
-def _cache_store(
-    path: Path, report: ExperimentReport, exp_id: str = "", scenario_desc: str = ""
-) -> None:
-    faults.maybe_fail_cache_write(exp_id, scenario_desc)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    # Write-then-rename so concurrent workers never observe a torn file.
-    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as fh:
-            fh.write(report.to_json())
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
-
-
-# -- concurrent-safe claim/publish ---------------------------------------
-
-# Many writers may race on one cache key (shared cache dir, duplicated
-# points across sweeps).  A claim file, created with O_EXCL next to the
-# entry, elects the single computing writer; everyone else waits for the
-# published result.  Claims are advisory: a claim whose owning pid is
-# dead (worker crash) or older than the TTL is *taken over*, and a
-# waiter that exhausts its patience computes anyway — duplicate work is
-# always preferred over a deadlock.
-_CLAIM_TTL_S = 600.0  # age past which a claim is stale even if pid unknown
-_CLAIM_WAIT_S = 30.0  # max wait on a live claim before computing anyway
-_CLAIM_POLL_S = 0.02
-
-
-class _CacheClaim:
-    def __init__(self, entry_path: Path):
-        self.path = entry_path.with_name(entry_path.name + ".claim")
-        self.held = False
-
-    def acquire(self) -> bool:
-        try:
-            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
-        except FileExistsError:
-            return False
-        except OSError:
-            return True  # unwritable dir: run uncoordinated (store will warn)
-        with os.fdopen(fd, "w") as fh:
-            json.dump({"pid": os.getpid(), "time": time.time()}, fh)
-        self.held = True
-        return True
-
-    def release(self) -> None:
-        if self.held:
-            try:
-                os.unlink(self.path)
-            except OSError:
-                pass
-            self.held = False
-
-    def is_stale(self) -> bool:
-        """True when the current holder is provably not coming back."""
-        try:
-            data = json.loads(self.path.read_text())
-        except OSError:
-            return False  # claim vanished: holder released it, not stale
-        except ValueError:
-            return True  # torn claim file: holder died mid-write
-        pid = data.get("pid")
-        if isinstance(pid, int) and pid > 0:
-            try:
-                os.kill(pid, 0)
-            except ProcessLookupError:
-                return True  # owner is gone (crashed worker)
-            except OSError:
-                pass  # alive but not ours / cross-host: fall through to TTL
-        return (time.time() - float(data.get("time", 0.0))) > _CLAIM_TTL_S
-
-    def takeover(self) -> None:
-        try:
-            os.unlink(self.path)
-        except OSError:
-            pass
-
-
-def _await_claimed_result(
-    path: Path, claim: _CacheClaim
-) -> Tuple[Optional[ExperimentReport], bool]:
-    """Wait for a rival claimant to publish; returns (report, we_claimed).
-
-    Polls until the result appears, the claim goes stale (dead owner ->
-    takeover), or patience runs out (compute anyway, unclaimed).
-    """
-    deadline = time.monotonic() + _CLAIM_WAIT_S
-    while time.monotonic() < deadline:
-        report = _cache_load(path)
-        if report is not None:
-            return report, False
-        if not claim.path.exists():
-            # Holder released without publishing (its point failed):
-            # contend for the claim ourselves.
-            if claim.acquire():
-                return None, True
-            continue
-        if claim.is_stale():
-            claim.takeover()
-            if claim.acquire():
-                return None, True
-            continue
-        time.sleep(_CLAIM_POLL_S)
-    return None, False
-
-
-# -- the single entry path ----------------------------------------------
-
-
-def _run_driver(spec: Any, scenario: Scenario) -> ExperimentReport:
-    """Invoke the driver, under a sanitizer session when the scenario asks.
-
-    ``scenario.sanitize`` installs a :class:`repro.sanitize.SanitizerSession`
-    around the driver call, so every instrumented engine/scope/memory hook
-    inside the driver's simulations records into one stream; the session's
-    findings ride on the report (``report.sanitizer``) into ``--json`` and
-    the rendered output.  A :class:`~repro.sim.engine.DeadlockError`
-    escaping a sanitized driver is re-raised with the findings appended to
-    its message — the captured traceback then carries the diagnosis
-    (which members diverged, at which round, in which scope) instead of
-    just the list of hung processes.
-    """
-    if scenario.sanitize is None:
-        return spec.driver(scenario)
-    from repro.sanitize import SanitizerSession, render_findings
-    from repro.sim.engine import DeadlockError
-
-    with SanitizerSession(scenario.sanitize) as session:
-        try:
-            report = spec.driver(scenario)
-        except DeadlockError as exc:
-            lines = render_findings(session.findings())
-            if lines:
-                exc.args = (
-                    str(exc)
-                    + "\nsanitizer findings:\n"
-                    + "\n".join(f"  {line}" for line in lines),
-                )
-            raise
-    report.sanitizer = session.summary()
-    return report
-
-
-def execute_point(
-    exp_id: str,
-    scenario: Scenario,
-    use_cache: bool = True,
-    cache_dir: Optional[Path] = None,
-    attempt: int = 1,
-) -> PointResult:
-    """Run one (experiment, scenario) point: cache lookup, driver, store.
-
-    This is the only place a driver is invoked — serial runs, pool
-    workers, the CLI and the registry all come through here, so caching
-    and error capture behave identically everywhere.  ``attempt`` is the
-    1-based attempt number under the caller's retry policy; it selects
-    which fault-plan rules fire and is recorded on the result.
-    """
-    spec = get_spec(exp_id)
-    desc = scenario.describe()
-    cdir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
-    path = _cache_path(cdir, exp_id, scenario)
-    claim: Optional[_CacheClaim] = None
-    if use_cache:
-        report = _cache_load(path)
-        if report is not None:
-            return PointResult(
-                exp_id, scenario, report=report, cached=True, attempts=attempt
-            )
-        claim = _CacheClaim(path)
-        if not claim.acquire():
-            report, _ = _await_claimed_result(path, claim)
-            if report is not None:
-                return PointResult(
-                    exp_id, scenario, report=report, cached=True, attempts=attempt
-                )
-    try:
-        try:
-            faults.apply_driver_faults(exp_id, desc, attempt)
-            report = _run_driver(spec, scenario)
-        except TransientPointError:
-            return PointResult(
-                exp_id, scenario, error=traceback.format_exc(),
-                error_kind=KIND_TRANSIENT, attempts=attempt,
-            )
-        except Exception:
-            return PointResult(
-                exp_id, scenario, error=traceback.format_exc(),
-                error_kind=KIND_ERROR, attempts=attempt,
-            )
-        report.scenario = scenario.to_dict()
-        if scenario.backend is not None and report.backend is None:
-            # The driver ignored the backend knob — this experiment has no
-            # backend-routed sweeps.  Record the engine truthfully and say
-            # so when something faster than the engine was requested.
-            report.backend = "engine"
-            if scenario.backend != "engine":
-                report.notes.append(
-                    f"backend={scenario.backend} requested but "
-                    f"{exp_id} has no analytic-eligible sweeps; "
-                    "ran on the event-precise engine"
-                )
-        if use_cache:
-            # A cache-store failure (read-only dir, full disk) must not
-            # turn a finished report into a failed point — or, worse,
-            # abort the whole sweep and lose every sibling's result.  The
-            # CLI's contract is that partial results always reach the
-            # merged report/JSON output; the cache is an optimization, so
-            # degrade to uncached and warn.
-            try:
-                _cache_store(path, report, exp_id, desc)
-            except OSError as exc:
-                print(
-                    f"warning: could not write result cache entry {path}: {exc}",
-                    file=sys.stderr,
-                )
-        return PointResult(exp_id, scenario, report=report, attempts=attempt)
-    finally:
-        if claim is not None:
-            claim.release()
-
-
-def _pool_worker(
-    args: Tuple[str, Dict[str, Any], bool, Optional[str], Optional[str], int,
-                Optional[str]],
-):
-    """Top-level (picklable) pool entry: scenario travels as its dict form.
-
-    The parent's ``code_version`` travels with the payload and pins the
-    worker's memo: under the ``spawn`` start method a fresh interpreter
-    would otherwise recompute the digest from the filesystem mid-run, so
-    a source edit during a parallel sweep could split one run across two
-    cache keys (and mix results from two code states).  The parent's
-    programmatic fault plan ships the same way (the env-var channel
-    already survives both start methods on its own).
-    """
-    global _CODE_VERSION
-    exp_id, scenario_dict, use_cache, cache_dir, code_ver, attempt, plan_json = args
-    if code_ver:
-        _CODE_VERSION = code_ver
-    faults.IN_WORKER = True  # kill faults may really take this process down
-    if plan_json is not None:
-        faults.set_plan(faults.FaultPlan.from_json(plan_json))
-    result = execute_point(
-        exp_id,
-        Scenario.from_dict(scenario_dict),
-        use_cache=use_cache,
-        cache_dir=Path(cache_dir) if cache_dir else None,
-        attempt=attempt,
-    )
-    # Ship the JSON form back: ExperimentReport is plain data either way,
-    # and JSON keeps the parent <-> worker contract identical to the cache.
-    return (
-        result.exp_id,
-        result.report.to_json() if result.report is not None else None,
-        result.error,
-        result.cached,
-        result.error_kind,
-    )
-
-
-# -- serial path ---------------------------------------------------------
-
-
-def _run_serial(
-    points: Sequence[Tuple[str, Scenario]],
-    use_cache: bool,
-    cache_dir: Optional[Path],
-    retry: RetryPolicy,
-    journal: Optional[SweepJournal],
-) -> List[PointResult]:
-    """In-process execution with retry/backoff (no crash isolation).
-
-    ``jobs=1`` runs here: a worker kill cannot be survived in-process
-    (the fault layer downgrades it to a transient raise) and timeouts are
-    unenforceable without a subprocess, but transient failures still
-    retry under the policy and the journal still records progress.
-    """
-    results: List[PointResult] = []
-    for index, (exp_id, scenario) in enumerate(points):
-        key = f"{exp_id}/{scenario.content_hash}"
-        attempt = 1
-        while True:
-            if journal is not None:
-                journal.point_start(index, exp_id, attempt)
-            res = execute_point(
-                exp_id, scenario, use_cache=use_cache, cache_dir=cache_dir,
-                attempt=attempt,
-            )
-            if res.ok:
-                if journal is not None:
-                    journal.point_finish(index, exp_id, attempt, res.cached)
-                break
-            kind = res.error_kind or KIND_ERROR
-            if journal is not None:
-                journal.point_fail(index, exp_id, attempt, kind, res.error or "")
-            if not retry.should_retry(kind, attempt):
-                break
-            time.sleep(retry.backoff(attempt, key))
-            attempt += 1
-        res.attempts = attempt
-        results.append(res)
-    return results
-
-
-# -- supervised pool path ------------------------------------------------
-
-
-class _PointState:
-    """Supervision bookkeeping for one in-progress point."""
-
-    __slots__ = ("index", "attempt", "ready_at", "crashes", "timeouts")
-
-    def __init__(self, index: int):
-        self.index = index
-        self.attempt = 1  # next attempt number to dispatch
-        self.ready_at = 0.0  # monotonic time before which we must not resubmit
-        self.crashes = 0
-        self.timeouts = 0
-
-
-def _kill_pool(pool: ProcessPoolExecutor) -> None:
-    """Tear down a pool whose workers may be stuck (best effort)."""
-    for proc in list(getattr(pool, "_processes", {}).values()):
-        try:
-            proc.terminate()
-        except Exception:
-            pass
-    try:
-        pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:
-        pass
-
-
-def _run_supervised(
-    points: Sequence[Tuple[str, Scenario]],
-    jobs: int,
-    use_cache: bool,
-    cache_dir: Optional[Path],
-    timeout: Optional[float],
-    retry: RetryPolicy,
-    journal: Optional[SweepJournal],
-) -> List[PointResult]:
-    """Failure-isolated pool dispatch: submit/wait, restart, retry.
-
-    Invariants:
-
-    * at most ``workers`` futures are in flight, so every in-flight
-      future is actually *running* — which is what lets the per-point
-      deadline start at submit time;
-    * a ``BrokenProcessPool`` affects only the in-flight points
-      (finished futures keep their results) and restarts the pool;
-    * crash *attribution* is exact: when several points were in flight,
-      the executor cannot say whose worker died, so none is charged an
-      attempt — instead all casualties become **suspects** and re-run
-      one at a time.  A point that breaks the pool while running alone
-      is unambiguously the culprit: it is charged a ``crash`` attempt
-      and retried/failed under the policy, while exonerated suspects
-      keep their results at no cost.  This is what stops one
-      crash-looping point from eating its siblings' retry budgets;
-    * a future past its deadline kills the whole pool (a stuck worker
-      cannot be cancelled), records a timeout for that point — the
-      expired future is known, so timeout attribution is always exact —
-      and requeues innocent in-flight victims without charging them.
-    """
-    version = code_version()
-    plan = faults.active_plan()
-    plan_json = plan.to_json() if plan is not None else None
-    cache_dir_str = str(cache_dir) if cache_dir else None
-    workers = max(1, min(jobs, len(points)))
-
-    results: Dict[int, PointResult] = {}
-    pending: List[_PointState] = [_PointState(i) for i in range(len(points))]
-    # Crash suspects awaiting a solo (attributable) re-run; while this
-    # queue is non-empty, normal parallel dispatch pauses.
-    suspects: List[_PointState] = []
-    inflight: Dict[Future, Tuple[_PointState, Optional[float]]] = {}
-    pool = ProcessPoolExecutor(max_workers=workers)
-
-    def new_pool() -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=workers)
-
-    def submit(state: _PointState) -> None:
-        nonlocal pool
-        exp_id, scenario = points[state.index]
-        if journal is not None:
-            journal.point_start(state.index, exp_id, state.attempt)
-        payload = (
-            exp_id, scenario.to_dict(), use_cache, cache_dir_str, version,
-            state.attempt, plan_json,
-        )
-        while True:
-            try:
-                fut = pool.submit(_pool_worker, payload)
-                break
-            except BrokenProcessPool:
-                # A worker died between our last drain and this submit;
-                # recycle the pool and resubmit.
-                _kill_pool(pool)
-                pool = new_pool()
-        deadline = time.monotonic() + timeout if timeout is not None else None
-        inflight[fut] = (state, deadline)
-
-    def finish(state: _PointState, result: PointResult) -> None:
-        result.attempts = state.attempt
-        result.crashes = state.crashes
-        result.timeouts = state.timeouts
-        results[state.index] = result
-        if journal is not None:
-            journal.point_finish(
-                state.index, result.exp_id, state.attempt, result.cached
-            )
-
-    def fail(state: _PointState, kind: str, error: str) -> None:
-        exp_id, scenario = points[state.index]
-        if kind == KIND_CRASH:
-            state.crashes += 1
-        elif kind == KIND_TIMEOUT:
-            state.timeouts += 1
-        if journal is not None:
-            journal.point_fail(state.index, exp_id, state.attempt, kind, error)
-        if retry.should_retry(kind, state.attempt):
-            delay = retry.backoff(
-                state.attempt, f"{exp_id}/{scenario.content_hash}"
-            )
-            state.attempt += 1
-            state.ready_at = time.monotonic() + delay
-            pending.append(state)
-        else:
-            results[state.index] = PointResult(
-                exp_id, scenario, error=error, error_kind=kind,
-                attempts=state.attempt, crashes=state.crashes,
-                timeouts=state.timeouts,
-            )
-
-    def consume(fut: Future, state: _PointState) -> bool:
-        """Fold one completed future into results; True if pool broke.
-
-        A ``BrokenProcessPool`` outcome does *not* judge the point here —
-        whether it is charged as the culprit or spared as a casualty
-        depends on how many futures were in flight, which only the main
-        loop knows.
-        """
-        exp_id, scenario = points[state.index]
-        try:
-            rid, report_json, error, cached, error_kind = fut.result()
-        except BrokenProcessPool:
-            return True
-        except Exception:
-            fail(state, KIND_ERROR, traceback.format_exc())
-            return False
-        if rid != exp_id:
-            # Ordering invariant between dispatch and results; a real
-            # error (not an assert) so it cannot vanish under python -O.
-            raise RuntimeError(
-                f"pool returned a result for {rid!r} on the future of "
-                f"{exp_id!r}: dispatch bookkeeping is corrupt"
-            )
-        if error is None:
-            finish(
-                state,
-                PointResult(
-                    exp_id, scenario,
-                    report=ExperimentReport.from_json(report_json),
-                    cached=cached,
-                ),
-            )
-        else:
-            fail(state, error_kind or KIND_ERROR, error)
-        return False
-
-    try:
-        while pending or suspects or inflight:
-            now = time.monotonic()
-            # Dispatch.  Suspect isolation takes priority: while crash
-            # suspects exist, exactly one runs at a time (so a repeat
-            # crash is attributable) and normal dispatch pauses.
-            if suspects:
-                if not inflight and suspects[0].ready_at <= now:
-                    submit(suspects.pop(0))
-            elif len(inflight) < workers:
-                ready = sorted(
-                    (s for s in pending if s.ready_at <= now),
-                    key=lambda s: s.index,
-                )
-                for state in ready[: workers - len(inflight)]:
-                    pending.remove(state)
-                    submit(state)
-            if not inflight:
-                # Everything runnable is backing off; sleep to the nearest.
-                wake = min(s.ready_at for s in (suspects or pending))
-                time.sleep(max(0.0, wake - time.monotonic()))
-                continue
-
-            # Wake on the first completion, the earliest deadline, or the
-            # earliest backoff expiry — whichever comes first.
-            horizon: List[float] = [
-                dl - now for (_, dl) in inflight.values() if dl is not None
-            ]
-            # Only *future* backoff expiries matter here: a pending point
-            # that is already ready just needs a worker slot, which only a
-            # completion can free — so it must not clamp the wait to zero.
-            horizon.extend(
-                s.ready_at - now
-                for s in pending + suspects
-                if s.ready_at > now
-            )
-            wait_for = max(0.0, min(horizon)) if horizon else None
-            done, _ = wait(
-                list(inflight), timeout=wait_for, return_when=FIRST_COMPLETED
-            )
-
-            casualties: List[_PointState] = []
-            for fut in done:
-                state, _ = inflight.pop(fut)
-                if consume(fut, state):
-                    casualties.append(state)
-
-            if casualties:
-                # The pool is dead.  Drain the rest: futures that finished
-                # before the crash still carry real results.
-                wait(list(inflight), timeout=5.0)
-                for fut, (state, _) in list(inflight.items()):
-                    del inflight[fut]
-                    if not fut.done() or consume(fut, state):
-                        casualties.append(state)
-                if len(casualties) == 1:
-                    # Every other in-flight point finished with a real
-                    # result, so the dead worker was provably this one's.
-                    state = casualties[0]
-                    exp_id, scenario = points[state.index]
-                    fail(
-                        state, KIND_CRASH,
-                        f"worker process died while running {exp_id} "
-                        f"[{scenario.describe()}] (BrokenProcessPool)",
-                    )
-                else:
-                    # Ambiguous: any of the casualties may be the culprit.
-                    # Nobody is charged an attempt; all re-run solo so the
-                    # next crash (if any) is attributable.
-                    for state in casualties:
-                        state.ready_at = now
-                        suspects.append(state)
-                    suspects.sort(key=lambda s: s.index)
-                _kill_pool(pool)
-                pool = new_pool()
-                continue
-
-            # Deadline enforcement: a stuck worker cannot be cancelled,
-            # so the pool dies with it and innocents are requeued
-            # (same attempt — they did nothing wrong).
-            now = time.monotonic()
-            expired = [
-                (fut, state)
-                for fut, (state, dl) in inflight.items()
-                if dl is not None and now >= dl and not fut.done()
-            ]
-            if expired:
-                for fut, state in expired:
-                    del inflight[fut]
-                    exp_id, scenario = points[state.index]
-                    fail(
-                        state, KIND_TIMEOUT,
-                        f"point {exp_id} [{scenario.describe()}] exceeded the "
-                        f"{timeout:g}s wall-clock timeout on attempt "
-                        f"{state.attempt}",
-                    )
-                for fut, (state, _) in list(inflight.items()):
-                    del inflight[fut]
-                    if not fut.done():
-                        # Innocent victim of the pool teardown: requeue at
-                        # the same attempt.
-                        state.ready_at = now
-                        pending.append(state)
-                    elif consume(fut, state):
-                        # The pool also broke under this future (crash and
-                        # timeout in the same round): treat as a suspect.
-                        state.ready_at = now
-                        suspects.append(state)
-                _kill_pool(pool)
-                pool = new_pool()
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
-
-    return [results[i] for i in range(len(points))]
-
 
 def run_points(
     points: Sequence[Tuple[str, Scenario]],
@@ -841,6 +78,7 @@ def run_points(
     timeout: Optional[float] = None,
     retry: Optional[RetryPolicy] = None,
     journal: Optional[SweepJournal] = None,
+    shards: int = 1,
 ) -> List[PointResult]:
     """Execute points (optionally across a supervised pool), in input order.
 
@@ -850,37 +88,15 @@ def run_points(
     path, even for ``jobs=1``); ``retry`` defaults to
     ``RetryPolicy(max_attempts=3)`` retrying crashes/timeouts/transient
     failures; ``journal`` receives start/finish/fail records as they
-    happen (see :mod:`repro.experiments.journal`).
+    happen (see :mod:`repro.experiments.journal`); ``shards`` partitions
+    the sweep across independent worker pools (see
+    :class:`repro.experiments.service.ShardScheduler`).
     """
-    if jobs < 1:
-        raise ValueError("jobs must be >= 1")
-    if timeout is not None and timeout <= 0:
-        raise ValueError("timeout must be positive")
-    policy = retry if retry is not None else RetryPolicy()
-    points = list(points)
-    if journal is not None:
-        journal.sweep_start(points, code_version(), jobs)
-    if not points:
-        return []
-    if timeout is None and (jobs == 1 or len(points) == 1):
-        return _run_serial(points, use_cache, cache_dir, policy, journal)
-    return _run_supervised(
-        points, jobs, use_cache, cache_dir, timeout, policy, journal
+    service = SweepService(
+        jobs=jobs, shards=shards, use_cache=use_cache, cache_dir=cache_dir,
+        timeout=timeout, retry=retry, journal=journal,
     )
-
-
-# -- experiment-level API ------------------------------------------------
-
-
-def merge_experiment(exp_id: str, results: List[PointResult]) -> ExperimentReport:
-    """Merge an experiment's point results into its single report.
-
-    Public so interfaces that keep partial results on failure (the CLI)
-    can reassemble reports through the same path ``run_all`` uses.
-    """
-    spec = get_spec(exp_id)
-    reports = [r.report for r in results if r.report is not None]
-    return merge_reports(exp_id, spec.title, reports)
+    return service.run(points)
 
 
 def run_experiment(

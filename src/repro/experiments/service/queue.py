@@ -1,0 +1,232 @@
+"""Job queue: sweep points as schedulable units with explicit states.
+
+The bottom layer of the sweep service.  A :class:`JobQueue` holds one
+:class:`Job` per (experiment, scenario) point — fed from the registry's
+point lists or replayed from a sweep journal — and tracks each through
+the ``pending -> claimed -> done | failed`` lifecycle.  Jobs carry their
+shard assignment (deterministic hash-sharding on the scenario's content
+hash), readiness time (retry backoff), and supervision counters; the
+:class:`~repro.experiments.service.scheduler.ShardScheduler` owns *when*
+those fields change, the queue owns *what* is true right now.
+
+Failure kinds (``KIND_*``) and the per-point outcome record
+(:class:`PointResult`) live here because every layer above speaks them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.experiments.base import ExperimentReport
+from repro.experiments.journal import JournalState
+from repro.experiments.scenario import Scenario
+
+__all__ = [
+    "ExperimentError",
+    "Job",
+    "JobQueue",
+    "PointResult",
+    "shard_of",
+    "KIND_ERROR",
+    "KIND_TRANSIENT",
+    "KIND_CRASH",
+    "KIND_TIMEOUT",
+    "PENDING",
+    "CLAIMED",
+    "DONE",
+    "FAILED",
+]
+
+# Failure kinds, attached to PointResult.error_kind and fed to the retry
+# policy.  "error" is a deterministic driver exception (fails fast by
+# default); the other three are transient infrastructure/driver faults.
+KIND_ERROR = "error"
+KIND_TRANSIENT = "transient"
+KIND_CRASH = "crash"
+KIND_TIMEOUT = "timeout"
+
+# Job lifecycle states.
+PENDING = "pending"  # dispatchable (once ready_at has passed)
+CLAIMED = "claimed"  # submitted to a worker, or held for a solo re-run
+DONE = "done"  # finished with a report
+FAILED = "failed"  # terminally failed (retry budget exhausted)
+
+
+class ExperimentError(RuntimeError):
+    """One or more (experiment, scenario) points failed."""
+
+    def __init__(self, failures: List["PointResult"]):
+        self.failures = failures
+        lines = [f"{len(failures)} experiment point(s) failed:"]
+        for f in failures:
+            first = (f.error or "").strip().splitlines()
+            lines.append(f"  {f.exp_id} [{f.scenario.describe()}]: "
+                         f"{first[-1] if first else 'unknown error'}")
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class PointResult:
+    """Outcome of one (experiment, scenario) point."""
+
+    exp_id: str
+    scenario: Scenario
+    report: Optional[ExperimentReport] = None
+    error: Optional[str] = None  # formatted traceback on failure
+    cached: bool = False
+    # Supervision counters: how hard the runner had to work for this
+    # outcome.  attempts counts driver dispatches (1 = first try worked);
+    # crashes/timeouts count the attempts lost to a dead or stuck worker.
+    attempts: int = 1
+    crashes: int = 0
+    timeouts: int = 0
+    error_kind: Optional[str] = None  # KIND_* of the *final* failure
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+
+def shard_of(scenario: Scenario, shards: int) -> int:
+    """Deterministic shard assignment: hash-shard on the scenario hash.
+
+    The content hash is already a uniform digest of the canonical
+    scenario form, so taking it mod ``shards`` spreads points evenly and
+    reproducibly — the same sweep always shards the same way.
+    """
+    if shards <= 1:
+        return 0
+    return int(scenario.content_hash, 16) % shards
+
+
+@dataclass
+class Job:
+    """One sweep point moving through the queue's lifecycle."""
+
+    index: int
+    exp_id: str
+    scenario: Scenario
+    shard: int = 0
+    state: str = PENDING
+    attempt: int = 1  # next attempt number to dispatch
+    ready_at: float = 0.0  # monotonic time before which we must not resubmit
+    crashes: int = 0
+    timeouts: int = 0
+    result: Optional[PointResult] = field(default=None, repr=False)
+
+    @property
+    def key(self) -> str:
+        """Stable point key (retry-jitter seed, claim coordination)."""
+        return f"{self.exp_id}/{self.scenario.content_hash}"
+
+    @property
+    def settled(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+
+class JobQueue:
+    """All jobs of one sweep, indexable by position and queryable by shard."""
+
+    def __init__(self, jobs: Sequence[Job], shards: int = 1):
+        self.jobs: List[Job] = list(jobs)
+        self.shards = max(1, shards)
+
+    @classmethod
+    def from_points(
+        cls, points: Sequence[Tuple[str, Scenario]], shards: int = 1
+    ) -> "JobQueue":
+        return cls(
+            [
+                Job(i, exp_id, scen, shard=shard_of(scen, shards))
+                for i, (exp_id, scen) in enumerate(points)
+            ],
+            shards=shards,
+        )
+
+    @classmethod
+    def from_journal(cls, state: JournalState, shards: int = 1) -> "JobQueue":
+        """Rebuild a queue from a parsed sweep journal (resume path).
+
+        Every point is queued as pending — finished points re-execute as
+        cache hits, which is how resume recovers their reports without
+        re-invoking drivers.
+        """
+        return cls.from_points(state.points, shards=shards)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def unsettled(self) -> int:
+        return sum(1 for job in self.jobs if not job.settled)
+
+    def ready(self, shard: int, now: float) -> List[Job]:
+        """Dispatchable jobs of ``shard``, in input order."""
+        return [
+            job
+            for job in self.jobs
+            if job.state == PENDING and job.shard == shard and job.ready_at <= now
+        ]
+
+    def pending(self, shard: Optional[int] = None) -> List[Job]:
+        return [
+            job
+            for job in self.jobs
+            if job.state == PENDING and (shard is None or job.shard == shard)
+        ]
+
+    def results(self) -> List[PointResult]:
+        """Settled results in input order (the sweep's merge order)."""
+        return [job.result for job in self.jobs if job.result is not None]
+
+    # -- transitions -----------------------------------------------------
+
+    def claim(self, job: Job) -> None:
+        job.state = CLAIMED
+
+    def requeue(self, job: Job, ready_at: float = 0.0) -> None:
+        job.state = PENDING
+        job.ready_at = ready_at
+
+    def finish(self, job: Job, result: PointResult) -> None:
+        job.state = DONE
+        job.result = result
+
+    def fail(self, job: Job, result: PointResult) -> None:
+        job.state = FAILED
+        job.result = result
+
+    def steal(self, to_shard: int, now: float) -> Optional[Job]:
+        """Reassign one ready job from the most-backlogged other shard.
+
+        Work stealing for stragglers: a shard that drained its own
+        partition takes the *last* ready job (coldest work) from the
+        shard with the largest pending backlog.  Returns the reassigned
+        job, or ``None`` when no other shard has dispatchable work.
+        """
+        donors: Dict[int, List[Job]] = {}
+        for job in self.jobs:
+            if (
+                job.state == PENDING
+                and job.shard != to_shard
+                and job.ready_at <= now
+            ):
+                donors.setdefault(job.shard, []).append(job)
+        if not donors:
+            return None
+        # Largest backlog first; ties break toward the lowest shard id so
+        # stealing is deterministic given the queue state.
+        donor = max(donors, key=lambda s: (len(donors[s]), -s))
+        job = donors[donor][-1]
+        job.shard = to_shard
+        return job

@@ -1,0 +1,531 @@
+"""Shard scheduler: retry/timeout/blame policy over N worker shards.
+
+The policy layer of the sweep service.  A :class:`ShardScheduler` drives
+a :class:`~repro.experiments.service.queue.JobQueue` to completion over
+one or more *shards* — each shard owns its own
+:class:`~repro.experiments.service.workers.WorkerPool`, so a worker
+death or stuck worker takes down exactly one shard's pool while the
+others keep running.  Jobs are pre-partitioned across shards by
+deterministic hash-sharding on the scenario hash; a shard that drains
+its partition steals ready jobs from the most-backlogged sibling, so a
+straggler shard cannot serialize the sweep.
+
+Supervision invariants (per shard, generalized from the original
+single-pool runner):
+
+* at most ``workers`` futures are in flight per shard, so every
+  in-flight future is actually *running* — which is what lets the
+  per-point deadline start at submit time;
+* a ``BrokenProcessPool`` affects only that shard's in-flight points
+  (finished futures keep their results) and restarts that shard's pool;
+* crash *attribution* is exact: when several points were in flight on
+  the broken shard, the executor cannot say whose worker died, so none
+  is charged an attempt — all casualties become **suspects** and re-run
+  one at a time on their shard.  A point that breaks the pool while
+  running alone is unambiguously the culprit: it is charged a ``crash``
+  attempt and retried/failed under the policy.  Suspect isolation
+  pauses only the affected shard; siblings (and work stealing by them)
+  continue;
+* a future past its deadline kills that shard's pool (a stuck worker
+  cannot be cancelled), records a timeout for that point — the expired
+  future is known, so timeout attribution is always exact — and
+  requeues innocent in-flight victims without charging them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.experiments import faults
+from repro.experiments.base import ExperimentReport
+from repro.experiments.journal import SweepJournal
+from repro.experiments.service import cache
+from repro.experiments.service.queue import (
+    KIND_CRASH,
+    KIND_ERROR,
+    KIND_TIMEOUT,
+    Job,
+    JobQueue,
+    PointResult,
+)
+from repro.experiments.service.workers import (
+    ResultSlab,
+    WorkerPool,
+    WorkItem,
+    execute_point,
+)
+
+__all__ = [
+    "NO_RETRY",
+    "RetryPolicy",
+    "ShardScheduler",
+    "SweepStats",
+    "run_serial",
+]
+
+#: Callback fired as each point settles: (input index, outcome).
+ResultCallback = Callable[[int, PointResult], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how to retry a failed point.
+
+    ``retryable`` maps a failure kind (``KIND_*``) to whether another
+    attempt may help; the default retries worker crashes, timeouts and
+    transient driver errors, and fails deterministic errors fast.
+    Backoff is exponential from ``base_delay`` (capped at ``max_delay``)
+    plus *deterministic* jitter — a hash of the point key and attempt
+    number, so retry schedules decorrelate across points yet reproduce
+    exactly run to run.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25  # extra fraction of the backoff step, [0, jitter)
+    retryable: Optional[Callable[[str], bool]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def is_retryable(self, kind: str) -> bool:
+        if self.retryable is not None:
+            return self.retryable(kind)
+        return kind != KIND_ERROR
+
+    def should_retry(self, kind: str, attempt: int) -> bool:
+        return attempt < self.max_attempts and self.is_retryable(kind)
+
+    def backoff(self, attempt: int, key: str = "") -> float:
+        delay = min(self.base_delay * (2 ** (attempt - 1)), self.max_delay)
+        if self.jitter > 0 and delay > 0:
+            h = int.from_bytes(
+                hashlib.sha256(f"{key}:{attempt}".encode()).digest()[:4], "big"
+            )
+            delay += delay * self.jitter * (h / 2**32)
+        return delay
+
+
+#: Retry nothing — the pre-supervision behaviour, useful in tests.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+@dataclass
+class SweepStats:
+    """Observability counters for one scheduled sweep."""
+
+    shards: int = 1
+    steals: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    slab_points: int = 0  # reports that rode the shared-memory slab
+    pickle_bytes_avoided: int = 0  # report bytes kept off the result pipe
+
+
+class _Shard:
+    """One shard's runtime: its pool, in-flight futures, crash suspects."""
+
+    __slots__ = ("id", "workers", "pool", "inflight", "suspects")
+
+    def __init__(self, shard_id: int, workers: int):
+        self.id = shard_id
+        self.workers = workers
+        self.pool = WorkerPool(workers)
+        self.inflight: Dict[Future, Tuple[Job, Optional[float]]] = {}
+        # Crash suspects awaiting a solo (attributable) re-run; while
+        # this queue is non-empty, this shard's normal dispatch pauses.
+        self.suspects: List[Job] = []
+
+
+class ShardScheduler:
+    """Drive a job queue to completion across sharded worker pools."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        jobs: int = 1,
+        shards: int = 1,
+        use_cache: bool = True,
+        cache_dir: Optional[Path] = None,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        journal: Optional[SweepJournal] = None,
+        on_result: Optional[ResultCallback] = None,
+    ):
+        self.queue = queue
+        self.jobs = jobs
+        self.shards = max(1, shards)
+        self.use_cache = use_cache
+        self.cache_dir = cache_dir
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.journal = journal
+        self.on_result = on_result
+        self.stats = SweepStats(shards=self.shards)
+        self._slab: Optional[ResultSlab] = None
+        self._version: Optional[str] = None
+        self._plan_json: Optional[str] = None
+
+    # -- lifecycle transitions ------------------------------------------
+
+    def _submit(self, shard: _Shard, job: Job) -> None:
+        self.queue.claim(job)
+        if self.journal is not None:
+            self.journal.point_start(
+                job.index, job.exp_id, job.attempt, shard=shard.id
+            )
+        slab = self._slab
+        item = WorkItem(
+            exp_id=job.exp_id,
+            scenario=job.scenario.to_dict(),
+            use_cache=self.use_cache,
+            cache_dir=str(self.cache_dir) if self.cache_dir else None,
+            code_version=self._version,
+            attempt=job.attempt,
+            plan_json=self._plan_json,
+            index=job.index,
+            slab_name=slab.name if slab is not None else None,
+            slab_slots=slab.slots if slab is not None else 0,
+            slab_slot_bytes=slab.slot_bytes if slab is not None else 0,
+        )
+        fut = shard.pool.submit(item)
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        shard.inflight[fut] = (job, deadline)
+
+    def _finish(self, job: Job, result: PointResult) -> None:
+        result.attempts = job.attempt
+        result.crashes = job.crashes
+        result.timeouts = job.timeouts
+        self.queue.finish(job, result)
+        if self.journal is not None:
+            self.journal.point_finish(
+                job.index, result.exp_id, job.attempt, result.cached
+            )
+        if self.on_result is not None:
+            self.on_result(job.index, result)
+
+    def _fail(self, job: Job, kind: str, error: str) -> None:
+        if kind == KIND_CRASH:
+            job.crashes += 1
+            self.stats.crashes += 1
+        elif kind == KIND_TIMEOUT:
+            job.timeouts += 1
+            self.stats.timeouts += 1
+        if self.journal is not None:
+            self.journal.point_fail(job.index, job.exp_id, job.attempt, kind, error)
+        if self.retry.should_retry(kind, job.attempt):
+            delay = self.retry.backoff(job.attempt, job.key)
+            job.attempt += 1
+            self.queue.requeue(job, time.monotonic() + delay)
+        else:
+            result = PointResult(
+                job.exp_id, job.scenario, error=error, error_kind=kind,
+                attempts=job.attempt, crashes=job.crashes, timeouts=job.timeouts,
+            )
+            self.queue.fail(job, result)
+            if self.on_result is not None:
+                self.on_result(job.index, result)
+
+    def _consume(self, fut: Future, job: Job) -> bool:
+        """Fold one completed future into the queue; True if pool broke.
+
+        A ``BrokenProcessPool`` outcome does *not* judge the point here —
+        whether it is charged as the culprit or spared as a casualty
+        depends on how many futures were in flight on its shard, which
+        only the main loop knows.
+        """
+        try:
+            reply = fut.result()
+        except BrokenProcessPool:
+            return True
+        except Exception:
+            self._fail(job, KIND_ERROR, traceback.format_exc())
+            return False
+        if reply.exp_id != job.exp_id:
+            # Ordering invariant between dispatch and results; a real
+            # error (not an assert) so it cannot vanish under python -O.
+            raise RuntimeError(
+                f"pool returned a result for {reply.exp_id!r} on the future "
+                f"of {job.exp_id!r}: dispatch bookkeeping is corrupt"
+            )
+        if reply.error is not None:
+            self._fail(job, reply.error_kind or KIND_ERROR, reply.error)
+            return False
+        if reply.slab_bytes > 0:
+            taken = self._slab.take(job.index) if self._slab is not None else None
+            if taken is None:
+                raise RuntimeError(
+                    f"worker published {job.exp_id} (point {job.index}) to the "
+                    "result slab but the slot is empty: slab bookkeeping is "
+                    "corrupt"
+                )
+            data, _ = taken
+            report = ExperimentReport.from_json(data.decode("utf-8"))
+            self.stats.slab_points += 1
+            self.stats.pickle_bytes_avoided += reply.slab_bytes
+        else:
+            report = ExperimentReport.from_json(reply.report_json or "")
+        self._finish(
+            job,
+            PointResult(job.exp_id, job.scenario, report=report,
+                        cached=reply.cached),
+        )
+        return False
+
+    # -- main-loop helpers ----------------------------------------------
+
+    def _dispatch(self, shard: _Shard, now: float) -> None:
+        # Suspect isolation takes priority: while crash suspects exist,
+        # exactly one runs at a time on this shard (so a repeat crash is
+        # attributable) and this shard's normal dispatch pauses.
+        if shard.suspects:
+            if not shard.inflight and shard.suspects[0].ready_at <= now:
+                self._submit(shard, shard.suspects.pop(0))
+            return
+        free = shard.workers - len(shard.inflight)
+        if free <= 0:
+            return
+        for job in self.queue.ready(shard.id, now)[:free]:
+            self._submit(shard, job)
+        # Work stealing: this shard's partition is drained (or backing
+        # off) but it still has idle workers — take ready jobs from the
+        # most-backlogged sibling.  Stealing from a suspect-paused shard
+        # is safe: attribution is per *pool*, and the stolen job runs on
+        # this shard's pool.
+        while len(shard.inflight) < shard.workers:
+            job = self.queue.steal(shard.id, now)
+            if job is None:
+                break
+            self.stats.steals += 1
+            self._submit(shard, job)
+
+    def _handle_broken(
+        self, shard: _Shard, casualties: List[Job], now: float
+    ) -> None:
+        # The shard's pool is dead.  Drain the rest: futures that
+        # finished before the crash still carry real results.
+        wait(list(shard.inflight), timeout=5.0)
+        for fut, (job, _) in list(shard.inflight.items()):
+            del shard.inflight[fut]
+            if not fut.done() or self._consume(fut, job):
+                casualties.append(job)
+        if len(casualties) == 1:
+            # Every other in-flight point finished with a real result,
+            # so the dead worker was provably this one's.
+            job = casualties[0]
+            self._fail(
+                job, KIND_CRASH,
+                f"worker process died while running {job.exp_id} "
+                f"[{job.scenario.describe()}] (BrokenProcessPool)",
+            )
+        else:
+            # Ambiguous: any of the casualties may be the culprit.
+            # Nobody is charged an attempt; all re-run solo so the next
+            # crash (if any) is attributable.
+            for job in casualties:
+                job.ready_at = now
+                shard.suspects.append(job)
+            shard.suspects.sort(key=lambda j: j.index)
+        shard.pool.restart()
+
+    def _handle_timeouts(self, shard: _Shard, now: float) -> None:
+        # Deadline enforcement: a stuck worker cannot be cancelled, so
+        # the shard's pool dies with it and innocents are requeued (same
+        # attempt — they did nothing wrong).
+        expired = [
+            (fut, job)
+            for fut, (job, dl) in shard.inflight.items()
+            if dl is not None and now >= dl and not fut.done()
+        ]
+        if not expired:
+            return
+        assert self.timeout is not None
+        for fut, job in expired:
+            del shard.inflight[fut]
+            self._fail(
+                job, KIND_TIMEOUT,
+                f"point {job.exp_id} [{job.scenario.describe()}] exceeded the "
+                f"{self.timeout:g}s wall-clock timeout on attempt "
+                f"{job.attempt}",
+            )
+        for fut, (job, _) in list(shard.inflight.items()):
+            del shard.inflight[fut]
+            if not fut.done():
+                # Innocent victim of the pool teardown: requeue at the
+                # same attempt.
+                self.queue.requeue(job, now)
+            elif self._consume(fut, job):
+                # The pool also broke under this future (crash and
+                # timeout in the same round): treat as a suspect.
+                job.ready_at = now
+                shard.suspects.append(job)
+        shard.pool.restart()
+
+    def _next_wake(self, shards: List[_Shard]) -> Optional[float]:
+        """Earliest time anything becomes dispatchable (nothing in flight)."""
+        wakes: List[float] = []
+        for shard in shards:
+            if shard.suspects:
+                wakes.extend(j.ready_at for j in shard.suspects)
+        # Pending jobs only matter if some shard is free to run (or
+        # steal) them; a suspect-paused shard dispatches nothing else.
+        if any(not shard.suspects for shard in shards):
+            wakes.extend(j.ready_at for j in self.queue.pending())
+        return min(wakes) if wakes else None
+
+    # -- entry -----------------------------------------------------------
+
+    def run(self) -> List[PointResult]:
+        q = self.queue
+        if not q.jobs:
+            return []
+        self._version = cache.code_version()
+        plan = faults.active_plan()
+        self._plan_json = plan.to_json() if plan is not None else None
+
+        total_workers = max(1, min(self.jobs, len(q.jobs)))
+        nshards = min(self.shards, len(q.jobs))
+        # Split the worker budget across shards (every shard gets at
+        # least one even when oversubscribed).
+        base, rem = divmod(total_workers, nshards)
+        shards = [
+            _Shard(s, max(1, base + (1 if s < rem else 0)))
+            for s in range(nshards)
+        ]
+        try:
+            self._slab = ResultSlab(len(q.jobs))
+        except (OSError, ValueError):
+            self._slab = None  # no shared memory here: pickle everything
+
+        try:
+            while q.unsettled:
+                now = time.monotonic()
+                for shard in shards:
+                    self._dispatch(shard, now)
+                owners: Dict[Future, _Shard] = {
+                    fut: shard for shard in shards for fut in shard.inflight
+                }
+                if not owners:
+                    # Everything runnable is backing off; sleep to the
+                    # nearest wake-up.
+                    wake = self._next_wake(shards)
+                    if wake is not None:
+                        time.sleep(max(0.0, wake - time.monotonic()))
+                    continue
+
+                # Wake on the first completion, the earliest deadline, or
+                # the earliest backoff expiry — whichever comes first.
+                horizon: List[float] = []
+                for shard in shards:
+                    horizon.extend(
+                        dl - now
+                        for (_, dl) in shard.inflight.values()
+                        if dl is not None
+                    )
+                    horizon.extend(
+                        j.ready_at - now
+                        for j in shard.suspects
+                        if j.ready_at > now
+                    )
+                # Only *future* backoff expiries matter here: a pending
+                # point that is already ready just needs a worker slot,
+                # which only a completion can free — so it must not clamp
+                # the wait to zero.
+                horizon.extend(
+                    j.ready_at - now
+                    for j in self.queue.pending()
+                    if j.ready_at > now
+                )
+                wait_for = max(0.0, min(horizon)) if horizon else None
+                done, _ = wait(
+                    list(owners), timeout=wait_for, return_when=FIRST_COMPLETED
+                )
+
+                broken: Dict[int, List[Job]] = {}
+                for fut in done:
+                    shard = owners[fut]
+                    job, _ = shard.inflight.pop(fut)
+                    if self._consume(fut, job):
+                        broken.setdefault(shard.id, []).append(job)
+                if broken:
+                    now = time.monotonic()
+                    for shard in shards:
+                        if shard.id in broken:
+                            self._handle_broken(shard, broken[shard.id], now)
+                    continue
+
+                now = time.monotonic()
+                for shard in shards:
+                    self._handle_timeouts(shard, now)
+        finally:
+            for shard in shards:
+                shard.pool.shutdown()
+            if self._slab is not None:
+                self._slab.close()
+                self._slab.unlink()
+                self._slab = None
+
+        return q.results()
+
+
+# -- serial path ---------------------------------------------------------
+
+
+def run_serial(
+    queue: JobQueue,
+    use_cache: bool = True,
+    cache_dir: Optional[Path] = None,
+    retry: Optional[RetryPolicy] = None,
+    journal: Optional[SweepJournal] = None,
+    on_result: Optional[ResultCallback] = None,
+) -> List[PointResult]:
+    """In-process execution with retry/backoff (no crash isolation).
+
+    ``jobs=1`` runs here: a worker kill cannot be survived in-process
+    (the fault layer downgrades it to a transient raise) and timeouts are
+    unenforceable without a subprocess, but transient failures still
+    retry under the policy and the journal still records progress.
+    """
+    policy = retry if retry is not None else RetryPolicy()
+    for job in queue.jobs:
+        while True:
+            if journal is not None:
+                journal.point_start(job.index, job.exp_id, job.attempt,
+                                    shard=job.shard)
+            res = execute_point(
+                job.exp_id, job.scenario, use_cache=use_cache,
+                cache_dir=cache_dir, attempt=job.attempt,
+            )
+            if res.ok:
+                if journal is not None:
+                    journal.point_finish(
+                        job.index, job.exp_id, job.attempt, res.cached
+                    )
+                break
+            kind = res.error_kind or KIND_ERROR
+            if journal is not None:
+                journal.point_fail(job.index, job.exp_id, job.attempt, kind,
+                                   res.error or "")
+            if not policy.should_retry(kind, job.attempt):
+                break
+            time.sleep(policy.backoff(job.attempt, job.key))
+            job.attempt += 1
+        res.attempts = job.attempt
+        if res.ok:
+            queue.finish(job, res)
+        else:
+            queue.fail(job, res)
+        if on_result is not None:
+            on_result(job.index, res)
+    return queue.results()

@@ -33,6 +33,10 @@ SAN107    ``except``/``except Exception`` whose body is only ``pass`` —
 SAN108    ``run(detect_deadlock=False)`` outside ``repro.sim`` — turning
           the engine's deadlock detection off in workload/driver code
           reintroduces the bare hang the sanitizer exists to kill.
+SAN109    direct ``ProcessPoolExecutor(...)`` construction outside
+          ``repro.experiments.service.workers`` — pool lifecycle (crash
+          blame, restart, slab attach) is owned by the worker layer;
+          ad-hoc pools bypass the sweep service's supervision.
 ========  ==============================================================
 
 Baseline workflow: ``lint-baseline.json`` (repo root) holds fingerprints
@@ -93,6 +97,10 @@ RULES: Dict[str, Tuple[str, str]] = {
     "SAN108": (
         "engine deadlock detection disabled outside repro.sim",
         "docs/sanitize.md#san108",
+    ),
+    "SAN109": (
+        "ProcessPoolExecutor built outside the sweep service worker layer",
+        "docs/sanitize.md#san109",
     ),
 }
 
@@ -211,6 +219,18 @@ class _Checker(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         chain = _attr_chain(node.func)
+        if (
+            self.ctx["src"]
+            and not self.ctx["workers"]
+            and chain
+            and chain[-1] == "ProcessPoolExecutor"
+        ):
+            self._add(
+                "SAN109", node,
+                "direct ProcessPoolExecutor construction bypasses the "
+                "sweep service's pool supervision; use "
+                "repro.experiments.service.workers.WorkerPool",
+            )
         if len(chain) >= 2:
             head, attr = chain[0], chain[-1]
             if (
@@ -341,6 +361,9 @@ def _context_for(path: str) -> Dict[str, bool]:
         "sync": "/sync/" in norm or norm.startswith("sync/"),
         # Inside the engine package itself (SAN108 exempt).
         "sim": "/sim/" in norm or norm.startswith("sim/"),
+        # The sweep service's worker layer: the one sanctioned
+        # ``ProcessPoolExecutor`` construction site (SAN109 exempt).
+        "workers": norm.endswith("experiments/service/workers.py"),
         # An experiment driver or its summary (SAN104's scope).
         "driver": (
             "/experiments/" in norm

@@ -160,3 +160,73 @@ class TestChaosKillMidSweepThenResume:
         # ...and the interrupted points really executed this time.
         assert stats["table4"]["failed"] == 0
         assert all(r["rows"] for r in reports)
+
+
+class TestChaosKillMidSweepThenStatus:
+    def test_sigkilled_sharded_sweep_reports_progress_and_partials(
+        self, tmp_path
+    ):
+        # Streaming-aggregation acceptance: SIGKILL a sharded sweep
+        # mid-flight, then `status` must report per-shard progress from
+        # the journal alone, and `status --partial` must render a merged
+        # report from the finished points' cache entries.
+        journal = tmp_path / "sweep-journal.jsonl"
+        plan = FaultPlan((
+            FaultRule(kind="delay", match="table4", delay=60.0, attempts=9),
+        ))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_EXPERIMENTS_CACHE"] = str(tmp_path)
+        env["REPRO_FAULT_PLAN"] = plan.to_json()
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments.cli",
+             "table5", "table4", "--json", "--jobs", "2", "--shards", "2",
+             "--cache-dir", str(tmp_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            finished = 0
+            while time.monotonic() < deadline:
+                if journal.exists():
+                    finished = sum(
+                        1 for line in journal.read_text().splitlines()
+                        if '"finish"' in line
+                    )
+                    if finished >= 2:  # both table5 points landed
+                        break
+                if proc.poll() is not None:
+                    pytest.fail(
+                        "sweep exited before it could be killed: "
+                        + proc.communicate()[1].decode(errors="replace")
+                    )
+                time.sleep(0.05)
+            assert finished >= 2, "table5 points never finished"
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        status = _run_cli(["status", str(journal), "--json"], None, tmp_path)
+        assert status.returncode == 0, status.stderr
+        payload = json.loads(status.stdout)
+        assert payload["shards"] == 2
+        assert payload["finished"] >= 2
+        assert payload["experiments"]["table5"]["finished"] == 2
+        # Per-shard attribution survives the kill: every finish is
+        # accounted to the shard whose pool ran it.
+        shard_finished = sum(
+            s["finished"] for s in payload["shard_progress"].values()
+        )
+        assert shard_finished == payload["finished"]
+
+        partial = _run_cli(
+            ["status", str(journal), "--partial", "--cache-dir",
+             str(tmp_path)],
+            None, tmp_path,
+        )
+        assert partial.returncode == 0, partial.stderr
+        assert "(partial: 2/2 point(s) finished)" in partial.stdout
+        assert "Table 5" in partial.stdout or "table5" in partial.stdout

@@ -5,6 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import runner
+from repro.experiments.service import cache as service_cache
+from repro.experiments.service import workers as service_workers
 from repro.experiments.registry import EXPERIMENTS, get_spec
 from repro.experiments.scenario import Scenario
 
@@ -57,7 +59,7 @@ class TestExecutePoint:
     def test_cache_key_includes_code_version(self, cache_dir, monkeypatch):
         scen = Scenario(gpus=("V100",))
         runner.execute_point("table4", scen, cache_dir=cache_dir)
-        monkeypatch.setattr(runner, "_CODE_VERSION", "deadbeefdeadbeef")
+        monkeypatch.setattr(service_cache, "_CODE_VERSION", "deadbeefdeadbeef")
         res = runner.execute_point("table4", scen, cache_dir=cache_dir)
         assert not res.cached  # old entry invisible under the new version
 
@@ -158,6 +160,8 @@ class TestExperimentApi:
         """registry.run_all and run_experiment share the single entry path."""
         from repro.experiments import registry
 
+        from repro.experiments.service import scheduler as service_scheduler
+
         calls = []
         orig = runner.execute_point
 
@@ -167,7 +171,11 @@ class TestExperimentApi:
 
         import unittest.mock as mock
 
-        with mock.patch.object(runner, "execute_point", side_effect=spy):
+        # The serial path resolves execute_point through the scheduler
+        # module, which is where registry.* must end up.
+        with mock.patch.object(
+            service_scheduler, "execute_point", side_effect=spy
+        ):
             registry.run_experiment("table4")
             registry.run_all(ids=["table1"])
         assert calls == ["table4", "table4", "table1"]
@@ -181,17 +189,20 @@ class TestWorkerCodeVersion:
         otherwise recompute mid-run)."""
         from repro.experiments import faults
 
-        monkeypatch.setattr(runner, "_CODE_VERSION", None)
-        # _pool_worker flips the worker marker; restore it so later
+        monkeypatch.setattr(service_cache, "_CODE_VERSION", None)
+        # worker_main flips the worker marker; restore it so later
         # in-process fault tests keep the kill-downgrade behaviour.
         monkeypatch.setattr(faults, "IN_WORKER", False)
         sentinel = "feedfacefeedface"
         scen = Scenario(gpus=("V100",))
-        out = runner._pool_worker(
-            ("table4", scen.to_dict(), True, str(cache_dir), sentinel, 1, None)
+        out = service_workers.worker_main(
+            service_workers.WorkItem(
+                exp_id="table4", scenario=scen.to_dict(), use_cache=True,
+                cache_dir=str(cache_dir), code_version=sentinel,
+            )
         )
-        assert out[0] == "table4" and out[1] is not None
-        assert runner._CODE_VERSION == sentinel
+        assert out.exp_id == "table4" and out.report_json is not None
+        assert service_cache._CODE_VERSION == sentinel
         assert list(cache_dir.glob(f"table4-*-{sentinel}.json"))
 
     def test_run_points_ships_version_with_payload(self, cache_dir, monkeypatch):
@@ -201,11 +212,11 @@ class TestWorkerCodeVersion:
 
         monkeypatch.setattr(faults, "IN_WORKER", False)
         captured = {}
-        real_worker = runner._pool_worker
+        real_worker = service_workers.worker_main
 
-        def fake_worker(args):
-            captured["version"] = args[4]
-            return real_worker(args)
+        def fake_worker(item):
+            captured["version"] = item.code_version
+            return real_worker(item)
 
         # jobs=2 engages the supervised pool path; run in-process (futures
         # resolve at submit time) to observe the payload.
@@ -224,8 +235,8 @@ class TestWorkerCodeVersion:
             def shutdown(self, wait=True, cancel_futures=False):
                 pass
 
-        monkeypatch.setattr(runner, "ProcessPoolExecutor", FakePool)
-        monkeypatch.setattr(runner, "_pool_worker", fake_worker)
+        monkeypatch.setattr(service_workers, "ProcessPoolExecutor", FakePool)
+        monkeypatch.setattr(service_workers, "worker_main", fake_worker)
         points = [("table4", Scenario(gpus=("V100",))), ("table4", Scenario(gpus=("P100",)))]
         results = runner.run_points(points, jobs=2, cache_dir=cache_dir)
         assert all(r.ok for r in results)
@@ -248,7 +259,7 @@ class TestCodeVersionMemoized:
         runner must compute it once per process, not once per entry."""
         from pathlib import Path
 
-        monkeypatch.setattr(runner, "_CODE_VERSION", None)
+        monkeypatch.setattr(service_cache, "_CODE_VERSION", None)
         walks = {"n": 0}
         real_rglob = Path.rglob
 
@@ -259,8 +270,8 @@ class TestCodeVersionMemoized:
         monkeypatch.setattr(Path, "rglob", counting_rglob)
         v1 = runner.code_version()
         v2 = runner.code_version()
-        runner._cache_path(Path("/tmp/c"), "table4", Scenario(gpus=("V100",)))
-        runner._cache_path(Path("/tmp/c"), "table4", Scenario(gpus=("P100",)))
+        service_cache.cache_path(Path("/tmp/c"), "table4", Scenario(gpus=("V100",)))
+        service_cache.cache_path(Path("/tmp/c"), "table4", Scenario(gpus=("P100",)))
         assert v1 == v2
         assert walks["n"] == 1
 
@@ -275,7 +286,7 @@ class TestBackendCacheIsolation:
         ana = Scenario(gpus=("V100",), backend="analytic")
         eng = Scenario(gpus=("V100",), backend="engine")
         paths = {
-            runner._cache_path(cache_dir, "fig8", s) for s in (base, ana, eng)
+            service_cache.cache_path(cache_dir, "fig8", s) for s in (base, ana, eng)
         }
         assert len(paths) == 3
 

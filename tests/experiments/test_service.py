@@ -1,0 +1,503 @@
+"""Tests for the layered sweep service: queue, shards, slab, aggregator.
+
+The service decomposes the old monolithic runner into four seams
+(``queue -> scheduler -> workers -> aggregate``); these tests pin each
+seam's contract in isolation plus the cross-layer invariants: sharded
+execution produces byte-identical reports to serial, work stealing is
+deterministic, the shared-memory slab round-trips report bytes, and the
+``status``/``compact`` subcommands read/rewrite the journal faithfully.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.cli import main
+from repro.experiments.journal import (
+    SweepJournal,
+    compact_journal,
+    load_journal,
+)
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.scenario import Scenario
+from repro.experiments.service import (
+    JobQueue,
+    ReportAggregator,
+    ResultSlab,
+    SweepService,
+    shard_of,
+)
+from repro.experiments.service.queue import (
+    CLAIMED,
+    DONE,
+    FAILED,
+    PENDING,
+    PointResult,
+)
+
+POINTS = [
+    ("table4", Scenario(gpus=("V100",))),
+    ("table4", Scenario(gpus=("P100",))),
+    ("table5", Scenario(gpus=("V100",))),
+    ("table5", Scenario(gpus=("P100",))),
+]
+
+
+def _result(exp_id, scen, ok=True):
+    if ok:
+        from repro.experiments.base import ExperimentReport
+
+        return PointResult(exp_id, scen, report=ExperimentReport(exp_id, "t"))
+    return PointResult(exp_id, scen, error="boom", error_kind="error")
+
+
+class TestShardOf:
+    def test_deterministic_and_in_range(self):
+        for _, scen in POINTS:
+            s = shard_of(scen, 3)
+            assert 0 <= s < 3
+            assert shard_of(scen, 3) == s  # stable across calls
+
+    def test_single_shard_is_zero(self):
+        assert shard_of(POINTS[0][1], 1) == 0
+        assert shard_of(POINTS[0][1], 0) == 0
+
+    def test_matches_content_hash(self):
+        scen = POINTS[0][1]
+        assert shard_of(scen, 5) == int(scen.content_hash, 16) % 5
+
+
+class TestJobQueue:
+    def test_from_points_assigns_shards(self):
+        q = JobQueue.from_points(POINTS, shards=3)
+        assert len(q) == 4
+        for job, (exp_id, scen) in zip(q, POINTS):
+            assert job.exp_id == exp_id
+            assert job.shard == shard_of(scen, 3)
+            assert job.state == PENDING
+
+    def test_lifecycle_transitions(self):
+        q = JobQueue.from_points(POINTS)
+        job = q.jobs[0]
+        q.claim(job)
+        assert job.state == CLAIMED and not job.settled
+        q.requeue(job, ready_at=123.0)
+        assert job.state == PENDING and job.ready_at == 123.0
+        q.finish(job, _result(*POINTS[0]))
+        assert job.state == DONE and job.settled
+        q.fail(q.jobs[1], _result(*POINTS[1], ok=False))
+        assert q.jobs[1].state == FAILED
+        assert q.unsettled == 2
+
+    def test_ready_respects_backoff_and_shard(self):
+        q = JobQueue.from_points(POINTS, shards=1)
+        q.jobs[0].ready_at = 100.0
+        ready = q.ready(0, now=50.0)
+        assert q.jobs[0] not in ready
+        assert q.jobs[1] in ready
+        assert q.ready(0, now=150.0)[0] is q.jobs[0]  # input order
+
+    def test_results_in_input_order(self):
+        q = JobQueue.from_points(POINTS)
+        # Settle out of order; results() must come back by input position.
+        for i in (2, 0, 3, 1):
+            q.finish(q.jobs[i], _result(*POINTS[i]))
+        assert [r.exp_id for r in q.results()] == [e for e, _ in POINTS]
+
+    def test_from_journal_queues_everything_pending(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(path)
+        journal.sweep_start(POINTS, "cafecafecafecafe", jobs=2, shards=2)
+        journal.point_start(0, "table4", 1, shard=1)
+        journal.point_finish(0, "table4", 1, cached=False)
+        journal.close()
+        q = JobQueue.from_journal(load_journal(path), shards=2)
+        # Finished points re-enter as pending: resume recovers their
+        # reports through the cache, not by trusting the journal.
+        assert all(job.state == PENDING for job in q)
+        assert [(j.exp_id, j.scenario) for j in q] == POINTS
+
+
+class TestWorkSteal:
+    def _queue(self, shards_of_jobs):
+        """Queue with explicit shard assignments (bypasses hashing)."""
+        q = JobQueue.from_points(
+            [POINTS[i % len(POINTS)] for i in range(len(shards_of_jobs))],
+            shards=max(shards_of_jobs) + 1,
+        )
+        for job, shard in zip(q.jobs, shards_of_jobs):
+            job.shard = shard
+        return q
+
+    def test_steals_last_job_of_most_backlogged_shard(self):
+        q = self._queue([1, 1, 1, 2])
+        job = q.steal(to_shard=0, now=0.0)
+        assert job is q.jobs[2]  # last (coldest) job of shard 1's backlog
+        assert job.shard == 0
+
+    def test_tie_breaks_toward_lowest_shard_id(self):
+        q = self._queue([2, 2, 1, 1])
+        job = q.steal(to_shard=0, now=0.0)
+        assert job is q.jobs[3]  # shard 1 wins the tie over shard 2
+
+    def test_nothing_to_steal(self):
+        q = self._queue([0, 0])
+        assert q.steal(to_shard=0, now=0.0) is None  # own shard exempt
+        q2 = self._queue([1])
+        q2.claim(q2.jobs[0])
+        assert q2.steal(to_shard=0, now=0.0) is None  # claimed exempt
+
+    def test_backoff_jobs_not_stealable(self):
+        q = self._queue([1])
+        q.jobs[0].ready_at = 100.0
+        assert q.steal(to_shard=0, now=50.0) is None
+        assert q.steal(to_shard=0, now=150.0) is q.jobs[0]
+
+
+class TestResultSlab:
+    def test_publish_take_roundtrip(self):
+        slab = ResultSlab(slots=4, slot_bytes=64)
+        try:
+            assert slab.take(1) is None  # unpublished slot
+            assert slab.publish(1, b'{"exp_id": "table4"}', cached=True)
+            data, cached = slab.take(1)
+            assert data == b'{"exp_id": "table4"}' and cached is True
+            assert slab.take(0) is None  # neighbours untouched
+        finally:
+            slab.close()
+            slab.unlink()
+
+    def test_oversize_payload_rejected(self):
+        slab = ResultSlab(slots=1, slot_bytes=8)
+        try:
+            assert not slab.publish(0, b"x" * 9, cached=False)
+            assert slab.take(0) is None
+        finally:
+            slab.close()
+            slab.unlink()
+
+    def test_out_of_range_index_rejected(self):
+        slab = ResultSlab(slots=2, slot_bytes=8)
+        try:
+            assert not slab.publish(2, b"x", cached=False)
+            assert slab.take(-1) is None
+        finally:
+            slab.close()
+            slab.unlink()
+
+    def test_worker_attaches_by_name(self):
+        parent = ResultSlab(slots=2, slot_bytes=32)
+        try:
+            attached = ResultSlab(2, 32, name=parent.name)
+            assert attached.publish(0, b"payload", cached=False)
+            attached.close()
+            data, cached = parent.take(0)
+            assert data == b"payload" and cached is False
+        finally:
+            parent.close()
+            parent.unlink()
+
+
+class TestAggregator:
+    def test_streaming_fold_and_order(self):
+        agg = ReportAggregator()
+        for i in (3, 0, 2, 1):
+            agg.add(i, _result(*POINTS[i]))
+        assert len(agg) == 4
+        assert [r.exp_id for r in agg.results()] == [e for e, _ in POINTS]
+        assert agg.experiment_ids() == ["table4", "table5"]
+
+    def test_partial_report_none_without_ok_results(self):
+        agg = ReportAggregator()
+        assert agg.partial_report("table4") is None
+        agg.add(0, _result(*POINTS[0], ok=False))
+        assert agg.partial_report("table4") is None
+
+    def test_execution_stats_counts_failures(self):
+        agg = ReportAggregator()
+        agg.add(0, _result(*POINTS[0]))
+        agg.add(1, _result(*POINTS[1], ok=False))
+        stats = agg.execution_stats()["table4"]
+        assert stats["points"] == 2 and stats["failed"] == 1
+
+
+class TestShardedSweep:
+    """Cross-layer invariant: sharding never changes the answer."""
+
+    def test_sharded_run_matches_serial(self, tmp_path):
+        from repro.experiments.runner import run_points
+
+        serial = run_points(POINTS, cache_dir=tmp_path / "a")
+        sharded = run_points(
+            POINTS, jobs=2, shards=2, cache_dir=tmp_path / "b"
+        )
+        assert [r.ok for r in sharded] == [True] * len(POINTS)
+        for a, b in zip(serial, sharded):
+            assert a.exp_id == b.exp_id
+            assert a.report.to_json() == b.report.to_json()
+
+    def test_service_stats_and_streaming_aggregator(self, tmp_path):
+        service = SweepService(jobs=2, shards=2, cache_dir=tmp_path)
+        results = service.run(POINTS)
+        assert all(r.ok for r in results)
+        # Every settled point was streamed into the aggregator...
+        assert len(service.aggregator) == len(POINTS)
+        reports = service.aggregator.reports(["table4", "table5"])
+        assert [r.exp_id for r in reports] == ["table4", "table5"]
+        # ...and the slab carried the report bytes (no pickle round-trip).
+        assert service.stats.shards == 2
+        assert service.stats.slab_points > 0
+        assert service.stats.pickle_bytes_avoided > 0
+
+    def test_shards_clamped_to_point_count(self, tmp_path):
+        service = SweepService(jobs=4, shards=16, cache_dir=tmp_path)
+        results = service.run(POINTS[:2])
+        assert all(r.ok for r in results)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="jobs"):
+            SweepService(jobs=0)
+        with pytest.raises(ValueError, match="shards"):
+            SweepService(shards=0)
+        with pytest.raises(ValueError, match="timeout"):
+            SweepService(timeout=0)
+
+    def test_cli_rejects_bad_shards(self, capsys):
+        assert main(["table4", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+
+class TestJournalSharding:
+    def test_shard_recorded_and_bucketed(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(path)
+        journal.sweep_start(POINTS, "v", jobs=2, shards=2)
+        journal.point_start(0, "table4", 1, shard=0)
+        journal.point_finish(0, "table4", 1, cached=False)
+        journal.point_start(1, "table4", 1, shard=1)
+        journal.point_fail(1, "table4", 1, "crash", "died")
+        journal.point_start(2, "table5", 1, shard=1)
+        journal.close()
+        state = load_journal(path)
+        assert state.shard_count == 2 and state.jobs == 2
+        assert state.shards == {0: 0, 1: 1, 2: 1}
+        progress = state.shard_progress()
+        assert progress[0] == {
+            "points": 1, "finished": 1, "failed": 0, "running": 0
+        }
+        assert progress[1] == {
+            "points": 2, "finished": 0, "failed": 1, "running": 1
+        }
+        # Point 3 never started: reported under the "not started" bucket.
+        assert progress[-1]["points"] == 1
+
+    def test_steal_attribution_follows_latest_start(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(path)
+        journal.sweep_start(POINTS[:1], "v", jobs=2, shards=2)
+        journal.point_start(0, "table4", 1, shard=1)
+        journal.point_start(0, "table4", 2, shard=0)  # stolen, re-run
+        journal.point_finish(0, "table4", 2, cached=False)
+        journal.close()
+        assert load_journal(path).shards == {0: 0}
+
+
+class TestCompaction:
+    def _grown_journal(self, path):
+        journal = SweepJournal(path)
+        # An abandoned first generation, then the live one with retries.
+        journal.sweep_start(POINTS, "v1", jobs=1)
+        journal.point_start(0, "table4", 1)
+        journal.sweep_start(POINTS, "v2", jobs=2, shards=2)
+        journal.point_start(0, "table4", 1, shard=0)
+        journal.point_fail(0, "table4", 1, "timeout", "slow")
+        journal.point_start(0, "table4", 2, shard=1)
+        journal.point_finish(0, "table4", 2, cached=False)
+        journal.point_start(1, "table4", 1, shard=1)
+        journal.point_fail(1, "table4", 1, "crash", "died")
+        journal.point_start(2, "table5", 1, shard=0)
+        journal.close()
+        return path
+
+    def _state_key(self, state):
+        return (
+            state.points, state.code_version, state.finished, state.failed,
+            state.started, state.shards, state.jobs, state.shard_count,
+        )
+
+    def test_compaction_preserves_resume_state(self, tmp_path):
+        path = self._grown_journal(tmp_path / "sweep.jsonl")
+        before_state = self._state_key(load_journal(path))
+        before, after = compact_journal(path)
+        assert after < before
+        assert self._state_key(load_journal(path)) == before_state
+
+    def test_superseded_records_dropped(self, tmp_path):
+        path = self._grown_journal(tmp_path / "sweep.jsonl")
+        compact_journal(path)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        # One header + per point: last start and final outcome only.
+        assert [r["event"] for r in records if r["event"] == "sweep"] == ["sweep"]
+        assert records[0]["code_version"] == "v2"
+        point0 = [r for r in records if r.get("index") == 0]
+        assert [r["event"] for r in point0] == ["start", "finish"]
+        assert point0[0]["attempt"] == 2  # the superseded attempt is gone
+        point1 = [r for r in records if r.get("index") == 1]
+        assert [r["event"] for r in point1] == ["start", "fail"]
+
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = self._grown_journal(tmp_path / "sweep.jsonl")
+        with open(path, "a") as fh:
+            fh.write('{"event": "finish", "ind')  # crash mid-append
+        before_state = self._state_key(load_journal(path))
+        compact_journal(path)
+        assert self._state_key(load_journal(path)) == before_state
+        for line in path.read_text().splitlines():
+            json.loads(line)  # every surviving line parses
+
+    def test_compaction_is_idempotent(self, tmp_path):
+        path = self._grown_journal(tmp_path / "sweep.jsonl")
+        compact_journal(path)
+        first = path.read_text()
+        before, after = compact_journal(path)
+        assert before == after
+        assert path.read_text() == first
+
+    def test_no_header_raises(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text('{"event": "start", "index": 0}\n')
+        with pytest.raises(ValueError, match="no sweep header"):
+            compact_journal(path)
+
+    def test_cli_compact_subcommand(self, tmp_path, capsys):
+        path = self._grown_journal(tmp_path / "sweep.jsonl")
+        assert main(["compact", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "record(s)" in out
+
+    def test_cli_compact_missing_journal(self, tmp_path, capsys):
+        assert main(["compact", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot compact" in capsys.readouterr().err
+
+
+class TestStatusSubcommand:
+    def _interrupted_journal(self, tmp_path):
+        """A sweep journal that looks mid-flight: 1 finished, 1 pending."""
+        path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(path)
+        journal.sweep_start(POINTS[:2], "deadbeefdeadbeef", jobs=2, shards=2)
+        journal.point_start(0, "table4", 1, shard=0)
+        journal.point_finish(0, "table4", 1, cached=False)
+        journal.close()
+        return path
+
+    def test_status_summary(self, tmp_path, capsys):
+        path = self._interrupted_journal(tmp_path)
+        assert main(["status", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 point(s), 1 finished" in out
+        assert "shards 2" in out
+        assert "shard 0: 1 point(s), 1 finished" in out
+        assert "not started: 1 point(s)" in out
+        assert "table4: 1/2 finished" in out
+
+    def test_status_json(self, tmp_path, capsys):
+        path = self._interrupted_journal(tmp_path)
+        assert main(["status", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["points"] == 2
+        assert payload["finished"] == 1
+        assert payload["pending"] == 1
+        assert payload["shards"] == 2
+        assert payload["shard_progress"]["0"]["finished"] == 1
+        assert payload["experiments"]["table4"]["points"] == 2
+
+    def test_status_bad_journal(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read sweep status" in capsys.readouterr().err
+
+    def test_status_partial_renders_cached_reports(self, tmp_path, capsys):
+        # A real (completed) sweep: every finished point has a cache
+        # entry addressed under the journal's recorded code version.
+        cache = tmp_path / "cache"
+        assert main(["table4", "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        journal = cache / "sweep-journal.jsonl"
+        rc = main(["status", str(journal), "--partial",
+                   "--cache-dir", str(cache)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "(partial: 2/2 point(s) finished)" in out
+        assert "table4" in out
+
+
+class TestResumeWithBackend:
+    def test_unfinished_points_reexecute_under_new_backend(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.experiments import faults
+
+        cache = tmp_path / "cache"
+        journal = cache / "sweep-journal.jsonl"
+        # Sweep 1: the P100 point fails; the V100 point finishes+caches.
+        plan = faults.FaultPlan((
+            faults.FaultRule(kind="error", match="table5", scenario="P100",
+                             attempts=99),
+        ))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        assert main(["table5", "--json", "--cache-dir", str(cache)]) == 1
+        capsys.readouterr()
+
+        # Resume with --backend: the unfinished point re-executes under
+        # the requested backend; the finished point keeps its recorded
+        # provenance (served from the cache, scenario untouched).
+        monkeypatch.delenv(faults.ENV_VAR)
+        rc = main(["--resume", str(journal), "--json", "--backend", "auto",
+                   "--cache-dir", str(cache)])
+        out, err = capsys.readouterr()
+        assert rc == 0, err
+        reports = json.loads(out)
+        assert reports[0]["execution"]["cached"] == 1
+        points = {
+            tuple(p["gpus"]): p for p in reports[0]["scenario"]["points"]
+        }
+        assert "backend" not in points[("V100",)]  # original provenance
+        assert points[("P100",)]["backend"] == "auto"  # re-executed
+
+    def test_resume_still_rejects_other_selection_args(self, tmp_path, capsys):
+        rc = main(["--resume", str(tmp_path / "j.jsonl"),
+                   "--scenario", "gpus=V100"])
+        assert rc == 2
+        assert "--backend" not in capsys.readouterr().err
+
+
+class TestFacadeSignatures:
+    """The runner facade keeps the public API generations of callers use."""
+
+    def test_public_names_still_importable(self):
+        from repro.experiments.runner import (  # noqa: F401
+            NO_RETRY,
+            ExperimentError,
+            PointResult,
+            RetryPolicy,
+            execute_point,
+            merge_experiment,
+            run_all,
+            run_experiment,
+            run_points,
+        )
+
+    def test_run_points_signature_unchanged(self):
+        import inspect
+
+        from repro.experiments.runner import run_points
+
+        params = list(inspect.signature(run_points).parameters)
+        assert params[:7] == [
+            "points", "jobs", "use_cache", "cache_dir", "timeout", "retry",
+            "journal",
+        ]

@@ -17,6 +17,7 @@ import time
 import pytest
 
 from repro.experiments import faults, runner
+from repro.experiments.service import cache as service_cache
 from repro.experiments.faults import FaultRule
 from repro.experiments.journal import SweepJournal, load_journal
 from repro.experiments.scenario import Scenario
@@ -246,7 +247,7 @@ class TestQuarantine:
         assert err.count("corrupt result cache entry") == 1
 
     def test_quarantined_entry_not_reparsed(self, cache_dir, capsys, monkeypatch):
-        monkeypatch.setattr(runner, "_QUARANTINE_WARNED", set())
+        monkeypatch.setattr(service_cache, "_QUARANTINE_WARNED", set())
         runner.execute_point("table4", V100, cache_dir=cache_dir)
         [path] = list(cache_dir.glob("table4-*.json"))
         path.write_text("{broken")
@@ -260,8 +261,8 @@ class TestQuarantine:
 class TestCacheClaims:
     def test_claim_excludes_second_acquirer(self, tmp_path):
         path = tmp_path / "entry.json"
-        a = runner._CacheClaim(path)
-        b = runner._CacheClaim(path)
+        a = service_cache.CacheClaim(path)
+        b = service_cache.CacheClaim(path)
         assert a.acquire()
         assert not b.acquire()
         a.release()
@@ -270,7 +271,7 @@ class TestCacheClaims:
 
     def test_dead_owner_claim_is_stale_and_taken_over(self, tmp_path):
         scen = V100
-        path = runner._cache_path(tmp_path, "table4", scen)
+        path = service_cache.cache_path(tmp_path, "table4", scen)
         tmp_path.mkdir(exist_ok=True)
         claim_file = path.with_name(path.name + ".claim")
         # Pid far above pid_max: provably not a live process.
@@ -283,7 +284,7 @@ class TestCacheClaims:
 
     def test_torn_claim_file_is_stale(self, tmp_path):
         path = tmp_path / "entry.json"
-        claim = runner._CacheClaim(path)
+        claim = service_cache.CacheClaim(path)
         claim.path.write_text("{torn")
         assert claim.is_stale()
 
@@ -292,14 +293,14 @@ class TestCacheClaims:
         # claim; a second writer must wait and then consume the published
         # report instead of recomputing.
         fresh = runner.execute_point("table4", V100, cache_dir=cache_dir)
-        path = runner._cache_path(tmp_path, "table4", V100)
+        path = service_cache.cache_path(tmp_path, "table4", V100)
         tmp_path.mkdir(exist_ok=True)
         claim_file = path.with_name(path.name + ".claim")
         claim_file.write_text(json.dumps({"pid": os.getpid(), "time": time.time()}))
 
         def publish():
             time.sleep(0.3)
-            runner._cache_store(path, fresh.report)
+            service_cache.cache_store(path, fresh.report)
             claim_file.unlink()
 
         thread = threading.Thread(target=publish)

@@ -131,9 +131,46 @@ class TestSAN108:
         assert _rules("def f(e):\n    e.run()\n", DRIVER) == []
 
 
+class TestSAN109:
+    def test_fires_on_direct_construction(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "pool = ProcessPoolExecutor(max_workers=4)\n"
+        )
+        assert _rules(src) == ["SAN109"]
+
+    def test_fires_on_qualified_construction(self):
+        src = (
+            "import concurrent.futures\n"
+            "pool = concurrent.futures.ProcessPoolExecutor(max_workers=4)\n"
+        )
+        assert _rules(src) == ["SAN109"]
+
+    def test_quiet_in_worker_layer(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "pool = ProcessPoolExecutor(max_workers=4)\n"
+        )
+        assert _rules(src, "src/repro/experiments/service/workers.py") == []
+
+    def test_quiet_outside_src(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "pool = ProcessPoolExecutor(max_workers=4)\n"
+        )
+        assert _rules(src, TEST) == []
+
+    def test_quiet_on_thread_pool(self):
+        src = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "pool = ThreadPoolExecutor(max_workers=4)\n"
+        )
+        assert _rules(src) == []
+
+
 class TestInfrastructure:
     def test_rule_catalog_is_complete(self):
-        assert set(RULES) == {f"SAN10{i}" for i in range(1, 9)}
+        assert set(RULES) == {f"SAN10{i}" for i in range(1, 10)}
         for summary, anchor in RULES.values():
             assert summary and anchor.startswith("docs/sanitize.md#")
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments.base import ExperimentReport, merge_reports
 from repro.experiments.cli import main as cli_main
-from repro.experiments.runner import _run_driver
+from repro.experiments.service.workers import _run_driver
 from repro.experiments.scenario import Scenario
 from repro.sanitize import events as ev
 from repro.sim.arch import V100
